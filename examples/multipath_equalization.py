@@ -1,0 +1,47 @@
+"""Frequency-selective channel + one-tap equalisation on the ASIP.
+
+Uses the `repro.ofdm` substrate: 16-QAM on 128 subcarriers through a
+3-tap Rayleigh multipath channel, received by the instruction-level ASIP
+simulation, equalised per subcarrier, and swept over SNR to produce a
+small BER waterfall — the system context in which the paper's FFT
+throughput numbers matter.
+
+Run:  python examples/multipath_equalization.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.ofdm import MultipathChannel, OfdmLink
+
+
+def main():
+    channel = MultipathChannel.exponential_profile(
+        n_taps=3, decay=0.4, rng=np.random.default_rng(2)
+    )
+    print("channel taps:", np.round(channel.taps, 3))
+
+    # One symbol through the full instruction-level receiver.
+    link = OfdmLink(128, scheme="16qam", channel=channel,
+                    snr_db=35.0, use_asip=True, seed=1)
+    result = link.run_symbol()
+    print(f"\nASIP-received symbol: {result.bit_errors} bit errors "
+          f"in {len(result.tx_bits)} bits, FFT = {result.fft_cycles} cycles")
+
+    # BER waterfall with the fast algorithm-level engine.
+    rows = []
+    for snr in (8, 12, 16, 20, 24, 28):
+        sweep_link = OfdmLink(128, scheme="16qam", channel=channel,
+                              snr_db=snr, seed=3)
+        ber = sweep_link.measure_ber(symbols=8)
+        rows.append((snr, f"{ber:.4f}"))
+    print()
+    print(render_table(
+        ["SNR (dB)", "BER"],
+        rows,
+        title="16-QAM / 128-carrier BER over the multipath channel",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""MB-UWB OFDM receiver demo — the workload the paper's intro motivates.
+
+Builds a toy 802.15.3a-style link: QPSK symbols on 1024 subcarriers,
+host-side IFFT (the transmitter), AWGN channel, then the **simulated FFT
+ASIP** as the receiver's transform stage, followed by demodulation and a
+bit-error check.  Also evaluates the paper's UWB throughput claim from
+the measured cycle count, in both throughput conventions.
+
+Run:  python examples/ofdm_uwb_receiver.py
+"""
+
+import numpy as np
+
+from repro.asip import simulate_fft
+from repro.asip.throughput import msamples_per_second, paper_mbps
+from repro.fft import ifft
+
+N_SUBCARRIERS = 1024
+UWB_SPEC = 409.6  # the paper's 802.15.3a figure
+
+
+def qpsk_modulate(bits: np.ndarray) -> np.ndarray:
+    symbols = (1 - 2.0 * bits[0::2]) + 1j * (1 - 2.0 * bits[1::2])
+    return symbols / np.sqrt(2)
+
+
+def qpsk_demodulate(symbols: np.ndarray) -> np.ndarray:
+    bits = np.empty(2 * len(symbols), dtype=int)
+    bits[0::2] = symbols.real < 0
+    bits[1::2] = symbols.imag < 0
+    return bits
+
+
+def main():
+    rng = np.random.default_rng(7)
+    tx_bits = rng.integers(0, 2, size=2 * N_SUBCARRIERS)
+
+    # Transmitter: QPSK onto subcarriers, IFFT to the time domain.
+    subcarriers = qpsk_modulate(tx_bits)
+    time_signal = ifft(subcarriers) * N_SUBCARRIERS  # unit-power carriers
+
+    # Channel: AWGN at ~20 dB SNR.
+    noise_scale = 10 ** (-20 / 20)
+    noise = noise_scale * (
+        rng.standard_normal(N_SUBCARRIERS)
+        + 1j * rng.standard_normal(N_SUBCARRIERS)
+    ) / np.sqrt(2)
+    received = time_signal + noise
+
+    # Receiver: the FFT ASIP recovers the subcarriers.
+    result = simulate_fft(received)
+    recovered = result.spectrum / N_SUBCARRIERS
+    rx_bits = qpsk_demodulate(recovered * np.sqrt(2) * N_SUBCARRIERS)
+
+    errors = int(np.sum(rx_bits != tx_bits))
+    print(f"OFDM symbol: {N_SUBCARRIERS} QPSK subcarriers, "
+          f"{2 * N_SUBCARRIERS} bits")
+    print(f"bit errors after ASIP FFT demodulation: {errors}")
+    assert errors == 0, "the simulated datapath should be transparent"
+
+    cycles = result.stats.cycles
+    msps = msamples_per_second(N_SUBCARRIERS, cycles)
+    mbps = paper_mbps(N_SUBCARRIERS, cycles)
+    print(f"\nFFT stage: {cycles} cycles at 300 MHz")
+    print(f"  {msps:.1f} Msample/s physical throughput")
+    print(f"  {mbps:.1f} Mbps in the paper's 6-bit convention "
+          f"(paper reports 440.6; UWB figure {UWB_SPEC})")
+    if mbps > UWB_SPEC:
+        print("  -> clears the paper's UWB-OFDM comparison")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""WiMAX size agility — reprogramming the same ASIP from 128 to 2048.
+
+802.16 scales its FFT from 128 to 2048 points with the channel
+bandwidth.  The array ASIP handles every size by *recompiling the
+program* (Section IV): this script regenerates the Algorithm-1 program
+per size, simulates it, verifies the spectrum, and prints the resulting
+throughput table with program sizes.
+
+Run:  python examples/wimax_scaling.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.asip import generate_fft_program, paper_mbps, simulate_fft
+from repro.asip.throughput import msamples_per_second
+
+WIMAX_BANDWIDTH_MHZ = {128: 1.25, 256: 2.5, 512: 5.0, 1024: 10.0, 2048: 20.0}
+
+
+def main():
+    rng = np.random.default_rng(16)
+    rows = []
+    for n, bandwidth in WIMAX_BANDWIDTH_MHZ.items():
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        result = simulate_fft(x)
+        assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-7 * n), n
+        program = generate_fft_program(n)
+        rows.append((
+            f"{bandwidth:.2f}",
+            n,
+            len(program),
+            result.stats.cycles,
+            round(msamples_per_second(n, result.stats.cycles), 1),
+            round(paper_mbps(n, result.stats.cycles), 1),
+        ))
+    print(render_table(
+        ["channel (MHz)", "FFT size", "program words", "cycles",
+         "Msample/s", "Mbps (6-bit)"],
+        rows,
+        title="WiMAX/802.16 FFT scaling on one ASIP family",
+    ))
+    print("\nEvery size verified against numpy.fft.fft; only the program "
+          "changes, the datapath (BU, CRF, AC, ROM) is untouched.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — reproduction of the DATE'09 array-FFT ASIP (Guan, Lin, Fei).
+
+Public API layers:
+
+* :mod:`repro.core`       — the array-structured FFT (the contribution);
+* :mod:`repro.addressing` — the address-changing and coefficient rules;
+* :mod:`repro.fft`        — reference FFTs and the cached-FFT skeleton;
+* :mod:`repro.isa`        — the PISA-like ISA with BUT4/LDIN/STOUT;
+* :mod:`repro.sim`        — the instruction-set simulator substrate;
+* :mod:`repro.asip`       — the FFT ASIP (code generator + machine);
+* :mod:`repro.baselines`  — Table II comparison implementations;
+* :mod:`repro.hw`         — gate-count / power / timing cost models;
+* :mod:`repro.analysis`   — tables, sweeps and verification helpers.
+"""
+
+from .core import ArrayFFT, array_fft
+
+__version__ = "1.0.0"
+
+__all__ = ["ArrayFFT", "array_fft", "__version__"]

@@ -1,0 +1,58 @@
+"""Address-changing (AC) rules of the array-structured FFT.
+
+This package implements Section II of the paper: epoch-boundary memory
+addressing, the local inter-stage rule L_j, the global rule P_j, the
+matrix formulation of the correctness proof (Fig. 3), and the coefficient
+(twiddle) addressing for both the intra-epoch ROM and the inter-epoch
+pre-rotation store.
+"""
+
+from .bitops import (
+    bit_reverse,
+    bit_width_of,
+    get_bit,
+    relocate_bit,
+    set_bit,
+    swap_bits,
+    swap_bits_msb,
+    swap_fields,
+)
+from .coefficients import (
+    PreRotationStore,
+    prerotation_exponent,
+    rom_coefficient_index,
+    rom_module_addresses,
+    rom_table,
+)
+from .epoch import EpochSplit, split_epochs
+from .global_rule import global_permutation, relocate_rule
+from .local import (
+    final_bit_reverse,
+    local_permutation,
+    local_switch,
+    stage_input_addresses,
+)
+
+__all__ = [
+    "bit_reverse",
+    "bit_width_of",
+    "get_bit",
+    "set_bit",
+    "swap_bits",
+    "swap_bits_msb",
+    "swap_fields",
+    "relocate_bit",
+    "EpochSplit",
+    "split_epochs",
+    "local_switch",
+    "local_permutation",
+    "stage_input_addresses",
+    "final_bit_reverse",
+    "global_permutation",
+    "relocate_rule",
+    "rom_coefficient_index",
+    "rom_module_addresses",
+    "rom_table",
+    "PreRotationStore",
+    "prerotation_exponent",
+]

@@ -1,0 +1,161 @@
+"""Bit-level address manipulation primitives.
+
+All address-changing (AC) rules in the paper (Section II-B) are defined as
+bit permutations on small fixed-width addresses: bit reversal of the low
+``p`` bits, swapping of adjacent bit positions, relocation of one bit, and
+swapping of the high-``q`` / low-``p`` fields.  This module provides those
+primitives with an explicit bit-numbering convention.
+
+Convention
+----------
+Addresses are non-negative integers interpreted as fixed-width bit strings
+``[a_{w-1} a_{w-2} ... a_1 a_0]`` where ``a_{w-1}`` is the most significant
+bit (MSB).  Two indexing schemes appear in the paper:
+
+* *LSB indexing* — bit ``k`` is the bit with arithmetic weight ``2**k``.
+* *"From the leftmost" indexing* — the paper's local rule talks about "the
+  j-th and (j-1)-th bit (from the leftmost bit)", i.e. MSB-based positions
+  starting at 1 for the leftmost bit.
+
+Helpers are provided for both; the MSB-based ones carry ``_msb`` in their
+name and take the total width explicitly.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "bit_width_of",
+    "get_bit",
+    "set_bit",
+    "bit_reverse",
+    "swap_bits",
+    "swap_bits_msb",
+    "extract_field",
+    "swap_fields",
+    "relocate_bit",
+    "bits_of",
+    "from_bits",
+]
+
+
+def bit_width_of(n: int) -> int:
+    """Return ``log2(n)`` for a positive power of two ``n``.
+
+    Raises ``ValueError`` for values that are not powers of two, which is
+    the error mode we want everywhere in this library (all sizes are
+    powers of two by construction).
+    """
+    if n <= 0 or (n & (n - 1)) != 0:
+        raise ValueError(f"expected a positive power of two, got {n}")
+    return n.bit_length() - 1
+
+
+def get_bit(value: int, k: int) -> int:
+    """Return bit ``k`` (LSB indexing) of ``value``."""
+    if k < 0:
+        raise ValueError(f"bit index must be non-negative, got {k}")
+    return (value >> k) & 1
+
+
+def set_bit(value: int, k: int, bit: int) -> int:
+    """Return ``value`` with bit ``k`` (LSB indexing) forced to ``bit``."""
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit}")
+    mask = 1 << k
+    return (value | mask) if bit else (value & ~mask)
+
+
+def bit_reverse(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``.
+
+    Bits above ``width`` must be zero; this catches out-of-range register
+    or memory addresses at the point of the error rather than later.
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if value < 0 or value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    out = 0
+    for k in range(width):
+        out = (out << 1) | ((value >> k) & 1)
+    return out
+
+
+def swap_bits(value: int, i: int, j: int) -> int:
+    """Swap bits ``i`` and ``j`` (LSB indexing) of ``value``."""
+    bi, bj = get_bit(value, i), get_bit(value, j)
+    if bi == bj:
+        return value
+    return value ^ ((1 << i) | (1 << j))
+
+
+def swap_bits_msb(value: int, width: int, i: int, j: int) -> int:
+    """Swap the ``i``-th and ``j``-th bits *counted from the leftmost bit*.
+
+    The paper's local AC rule is stated in this MSB-based, 1-origin
+    convention: position 1 is the MSB of a ``width``-bit address.
+    """
+    if not (1 <= i <= width and 1 <= j <= width):
+        raise ValueError(
+            f"MSB positions must be in [1, {width}], got i={i}, j={j}"
+        )
+    return swap_bits(value, width - i, width - j)
+
+
+def extract_field(value: int, lo: int, size: int) -> int:
+    """Extract ``size`` bits starting at LSB position ``lo``."""
+    if lo < 0 or size < 0:
+        raise ValueError("field bounds must be non-negative")
+    return (value >> lo) & ((1 << size) - 1)
+
+
+def swap_fields(value: int, low_width: int, high_width: int) -> int:
+    """Swap the low ``low_width``-bit field with the high ``high_width``-bit
+    field of a ``low_width + high_width``-bit value.
+
+    This is the paper's inter-epoch global shuffle: ``AI1`` is obtained from
+    ``AO0`` "by swapping the higher q bits with the lower p bits".
+    """
+    total = low_width + high_width
+    if value < 0 or value >> total:
+        raise ValueError(f"value {value} does not fit in {total} bits")
+    low = extract_field(value, 0, low_width)
+    high = extract_field(value, low_width, high_width)
+    return (low << high_width) | high
+
+
+def relocate_bit(value: int, width: int, src_msb: int, dst_msb: int) -> int:
+    """Remove the bit at MSB-based 1-origin position ``src_msb`` and
+    re-insert it at position ``dst_msb``, keeping the relative order of all
+    other bits.
+
+    This implements the paper's *global* address-changing rule: "A'_j is
+    obtained by putting the (p-2)-th bit of A_j in the j-th bit, and other
+    bits are still kept in their original order."
+    """
+    if not (1 <= src_msb <= width and 1 <= dst_msb <= width):
+        raise ValueError(
+            f"MSB positions must be in [1, {width}], got src={src_msb}, "
+            f"dst={dst_msb}"
+        )
+    bits = bits_of(value, width)
+    moved = bits.pop(src_msb - 1)
+    bits.insert(dst_msb - 1, moved)
+    return from_bits(bits)
+
+
+def bits_of(value: int, width: int) -> list:
+    """Return the bits of ``value`` as a list, MSB first."""
+    if value < 0 or value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> (width - 1 - k)) & 1 for k in range(width)]
+
+
+def from_bits(bits: list) -> int:
+    """Inverse of :func:`bits_of`: assemble an integer from MSB-first bits."""
+    out = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {b}")
+        out = (out << 1) | b
+    return out

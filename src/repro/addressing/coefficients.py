@@ -1,0 +1,181 @@
+"""Coefficient (twiddle) addressing (paper Section II-C).
+
+Two kinds of coefficients exist in the split N = P*Q FFT:
+
+1. *Intra-epoch* twiddles ``W_P^k`` for the P-point group FFTs.  Only
+   ``P/2`` values are needed and live in an on-chip ROM.  Butterfly ``m``
+   (0-origin flat index; the paper's BU module ``i`` holds butterflies
+   ``4(i-1) .. 4i-1``) of stage ``j`` reads ROM address
+   ``floor(m / (P/2**j)) * (P/2**j)`` — address 0 for every butterfly in
+   stage 1, strides of ``P/2**j`` thereafter.  This reproduces the paper's
+   32-point stage-2 example ``(0,0,0,0) (0,0,0,0) (8,8,8,8) (8,8,8,8)``.
+
+2. *Inter-epoch* pre-rotation weights ``W_N^{s l}`` applied to the epoch-0
+   outputs.  ``N/2`` distinct values are "evenly distributed between
+   [W_N^0, W_N^{N/2-1}]" but, exploiting eighth-circle symmetry, only the
+   first ``N/8 + 1`` complex values are stored; the rest are produced by
+   conjugation or swapping real/imaginary parts.  The address rule is
+   parity-of-octant based, as in the paper.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import numpy as np
+
+from .bitops import bit_width_of
+
+__all__ = [
+    "rom_coefficient_index",
+    "rom_module_addresses",
+    "rom_table",
+    "PreRotationStore",
+    "prerotation_exponent",
+]
+
+
+def rom_coefficient_index(points: int, stage: int, butterfly: int) -> int:
+    """ROM address for flat butterfly ``butterfly`` of ``stage`` (1-origin).
+
+    ``points`` is the group FFT size P; valid butterfly indices are
+    ``0 .. P/2 - 1`` and valid stages ``1 .. log2(P)``.
+    """
+    p = bit_width_of(points)
+    if not (1 <= stage <= p):
+        raise ValueError(f"stage must be in [1, {p}], got {stage}")
+    half = points // 2
+    if not (0 <= butterfly < half):
+        raise ValueError(
+            f"butterfly index must be in [0, {half}), got {butterfly}"
+        )
+    stride = points >> stage  # P / 2**j; equals 1 at the last stage
+    if stride == 0:
+        return 0
+    return (butterfly // stride) * stride
+
+
+def rom_module_addresses(points: int, stage: int, module: int) -> tuple:
+    """The paper's (p1, p2, p3, p4) for BU ``module`` (1-origin) in ``stage``.
+
+    Module ``i`` covers flat butterflies ``4(i-1) .. 4i-1``; modules run
+    ``1 .. P/8``.
+    """
+    if module < 1 or module > max(points // 8, 1):
+        raise ValueError(
+            f"module must be in [1, {max(points // 8, 1)}], got {module}"
+        )
+    base = 4 * (module - 1)
+    return tuple(
+        rom_coefficient_index(points, stage, base + k) for k in range(4)
+    )
+
+
+def rom_table(points: int) -> np.ndarray:
+    """The on-chip ROM contents: ``W_P^k`` for ``k = 0 .. P/2 - 1``."""
+    k = np.arange(points // 2)
+    return np.exp(-2j * np.pi * k / points)
+
+
+def prerotation_exponent(s: int, l: int, n_points: int) -> int:
+    """Exponent of the inter-epoch weight ``W_N^{s l}`` reduced mod N."""
+    if s < 0 or l < 0:
+        raise ValueError("s and l must be non-negative")
+    return (s * l) % n_points
+
+
+class PreRotationStore:
+    """Symmetry-compressed store of the inter-epoch coefficients.
+
+    Holds only ``W_N^e`` for ``e = 0 .. N/8`` (``N/8 + 1`` complex values,
+    as in the paper) and reconstructs any ``W_N^{sl}`` via the circular
+    symmetries of the unit circle.  Reconstruction follows the paper's
+    recipe: locate the stored pair ``[a, b]`` using the parity of
+    ``floor(e / (N/8))``, then emit one of ``[a, b]``, ``[b, a]``,
+    ``[-b, a]``, ``[-a, b]`` (and their conjugate/negated completions for
+    the lower half-circle, which the paper leaves implicit but which are
+    required for exponents in ``[N/2, N)`` arising from ``(s*l) mod N``).
+    """
+
+    def __init__(self, n_points: int):
+        bit_width_of(n_points)  # validates power of two
+        if n_points < 8:
+            raise ValueError(
+                f"pre-rotation store needs N >= 8, got {n_points}"
+            )
+        self.n_points = n_points
+        eighth = n_points // 8
+        self.eighth = eighth
+        self.table = np.exp(
+            -2j * np.pi * np.arange(eighth + 1) / n_points
+        )
+
+    @property
+    def stored_count(self) -> int:
+        """Number of complex values actually stored (``N/8 + 1``)."""
+        return len(self.table)
+
+    def stored_address(self, exponent: int) -> int:
+        """Memory address of the stored value used for ``exponent``.
+
+        The paper's rule restricted to the first quarter circle:
+        ``e mod (N/8)`` when ``floor(e / (N/8))`` is even and
+        ``N/8 - (e mod (N/8))`` when odd.  Exponents are first folded into
+        ``[0, N/4]`` by the symmetries handled in :meth:`lookup`.
+        """
+        e = exponent % self.n_points
+        e = self._fold_to_quarter(e)[0]
+        octant, offset = divmod(e, self.eighth)
+        if octant % 2 == 0:
+            return offset
+        return self.eighth - offset
+
+    def _fold_to_quarter(self, e: int) -> tuple:
+        """Fold exponent into the first quarter; return (e', transform id).
+
+        Transform ids: 0 = identity, 1 = multiply by -j and swap
+        (second quarter: W^{e} = -j * conj-swap...), 2 = negate
+        (third quarter), 3 = conjugate-negate (fourth quarter).  The exact
+        transforms are applied in :meth:`lookup`; this helper only decides
+        the quadrant.
+        """
+        n = self.n_points
+        quarter = n // 4
+        quadrant, rem = divmod(e, quarter)
+        return rem, quadrant
+
+    def lookup(self, exponent: int) -> complex:
+        """Reconstruct ``W_N^{exponent}`` from the compressed table."""
+        n = self.n_points
+        e = exponent % n
+        rem, quadrant = self._fold_to_quarter(e)
+        # Within a quarter, resolve via the octant parity rule.
+        octant, offset = divmod(rem, self.eighth)
+        if octant % 2 == 0:
+            base = self.table[offset]
+        else:
+            stored = self.table[self.eighth - offset]
+            # Mirror about -45 degrees: for W^{e} with e = N/4 - k the
+            # components of the stored W^{k} = [a, b] swap and negate:
+            # [a, b] -> [-b, -a] (the paper's "swapping the real and
+            # imaginary parts", with signs fixed by the forward
+            # negative-angle convention).
+            base = complex(-stored.imag, -stored.real)
+        if quadrant == 0:
+            return base
+        if quadrant == 1:
+            # W^{e + N/4} = -j * W^{e}: [a, b] -> [b, -a]
+            return complex(base.imag, -base.real)
+        if quadrant == 2:
+            # W^{e + N/2} = -W^{e}: [a, b] -> [-a, -b]
+            return -base
+        # W^{e + 3N/4} = j * W^{e}: [a, b] -> [-b, a]
+        return complex(-base.imag, base.real)
+
+    def weight(self, s: int, l: int) -> complex:
+        """Pre-rotation weight ``W_N^{s l}`` for epoch-0 output (s, l)."""
+        return self.lookup(prerotation_exponent(s, l, self.n_points))
+
+    def exact(self, exponent: int) -> complex:
+        """Uncompressed reference value (for verification)."""
+        return cmath.exp(-2j * cmath.pi * (exponent % self.n_points) / self.n_points)

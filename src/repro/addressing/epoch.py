@@ -1,0 +1,159 @@
+"""Epoch-level memory addressing (paper Section II-B, first half).
+
+An N-point FFT (``N = 2**n``) is split into two epochs with ``p`` and ``q``
+stages respectively, ``p + q = n`` and ``0 <= p - q <= 1``.  The data memory
+holding all N points is touched only at epoch boundaries, with four address
+sequences (``X``, ``Z``, ``Z'``, ``Y`` in the paper's Fig. 1):
+
+* ``AI0 = [AH][AL]``                 - input of epoch 0 (natural order),
+* ``AO0 = [AH][rev(AL)]``            - output of epoch 0 (low p bits reversed),
+* ``AI1 = [rev(AL)][AH]``            - input of epoch 1 (swap high-q / low-p
+  fields of ``AO0``),
+* ``AO1 = [AL][AH]``                 - output of epoch 1 (low part reversed
+  again relative to ``AI1``; the paper writes it as ``[a0 a1 .. a_{p-1}]``
+  reversed back to ``[a_{p-1} .. a0]`` in the high field... see note below).
+
+Note on AO1: the paper lists ``AI1 : [a0 a1 ... a_{p-1}][a_{n-1} ... a_p]``
+and ``AO1 : [a0 a1 ... a_{p-1}][a_p ... a_{n-1}]``, i.e. between input and
+output of epoch 1 the *low q-bit field* (which holds the original high bits)
+is bit-reversed — exactly the "outputs are in reversed order of inputs" rule
+applied to the epoch-1 groups of size ``Q = 2**q``.
+
+All functions here return *index maps*: ``addr_fn(k)`` gives the memory
+address used for logical element ``k`` of the sequence, and the module also
+provides whole-array permutations for convenient numpy use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bitops import bit_reverse, bit_width_of, swap_fields
+
+__all__ = ["EpochSplit", "split_epochs"]
+
+
+@dataclass(frozen=True)
+class EpochSplit:
+    """The two-epoch decomposition of an ``n``-stage FFT.
+
+    Attributes
+    ----------
+    n:
+        ``log2 N`` — total number of radix-2 stages.
+    p:
+        Number of stages in epoch 0; the epoch-0 group size is ``P = 2**p``.
+    q:
+        Number of stages in epoch 1; the epoch-1 group size is ``Q = 2**q``.
+    """
+
+    n: int
+    p: int
+    q: int
+
+    @property
+    def N(self) -> int:
+        """Total FFT size."""
+        return 1 << self.n
+
+    @property
+    def P(self) -> int:
+        """Epoch-0 group size (points per inner FFT, register-file entries)."""
+        return 1 << self.p
+
+    @property
+    def Q(self) -> int:
+        """Epoch-1 group size; also the number of groups in epoch 0."""
+        return 1 << self.q
+
+    def stages_in_epoch(self, epoch: int) -> int:
+        """Number of butterfly stages in ``epoch`` (0 or 1)."""
+        if epoch == 0:
+            return self.p
+        if epoch == 1:
+            return self.q
+        raise ValueError(f"epoch must be 0 or 1, got {epoch}")
+
+    def groups_in_epoch(self, epoch: int) -> int:
+        """Number of independent FFT groups in ``epoch``.
+
+        Epoch 0 runs ``Q`` groups of ``P`` points; epoch 1 runs ``P`` groups
+        of ``Q`` points, so that either way all ``N`` points are covered.
+        """
+        if epoch == 0:
+            return self.Q
+        if epoch == 1:
+            return self.P
+        raise ValueError(f"epoch must be 0 or 1, got {epoch}")
+
+    def group_size(self, epoch: int) -> int:
+        """Points per group in ``epoch`` (``P`` for epoch 0, ``Q`` for 1)."""
+        return 1 << self.stages_in_epoch(epoch)
+
+    # ------------------------------------------------------------------
+    # The four address sequences of Fig. 1.  Each maps a linear index
+    # k in [0, N) — "row-major" over (group, element) — to a memory address.
+    # ------------------------------------------------------------------
+
+    def ai0(self, k: int) -> int:
+        """Epoch-0 input address for linear index ``k`` (natural order)."""
+        self._check_index(k)
+        return k
+
+    def ao0(self, k: int) -> int:
+        """Epoch-0 output address: low ``p`` bits of ``AI0`` bit-reversed."""
+        self._check_index(k)
+        high = k >> self.p
+        low = k & (self.P - 1)
+        return (high << self.p) | bit_reverse(low, self.p)
+
+    def ai1(self, k: int) -> int:
+        """Epoch-1 input address: high-q/low-p field swap of ``AO0``."""
+        self._check_index(k)
+        return swap_fields(self.ao0(k), low_width=self.p, high_width=self.q)
+
+    def ao1(self, k: int) -> int:
+        """Epoch-1 output address: ``AI1`` with its low ``q`` bits reversed."""
+        self._check_index(k)
+        a = self.ai1(k)
+        high = a >> self.q
+        low = a & (self.Q - 1)
+        return (high << self.q) | bit_reverse(low, self.q)
+
+    def ai0_permutation(self) -> list:
+        """``[ai0(k) for k in range(N)]`` — identity by construction."""
+        return [self.ai0(k) for k in range(self.N)]
+
+    def ao0_permutation(self) -> list:
+        """Whole-array epoch-0 output address map."""
+        return [self.ao0(k) for k in range(self.N)]
+
+    def ai1_permutation(self) -> list:
+        """Whole-array epoch-1 input address map."""
+        return [self.ai1(k) for k in range(self.N)]
+
+    def ao1_permutation(self) -> list:
+        """Whole-array epoch-1 output address map."""
+        return [self.ao1(k) for k in range(self.N)]
+
+    def _check_index(self, k: int) -> None:
+        if not (0 <= k < self.N):
+            raise ValueError(f"index {k} out of range for N={self.N}")
+
+
+def split_epochs(n_points: int) -> EpochSplit:
+    """Split an ``n_points``-point FFT into the paper's two epochs.
+
+    ``n_points`` must be a power of two >= 4 (two stages minimum, one per
+    epoch).  For even ``n = log2 N`` the split is ``p = q = n/2``
+    (``P = sqrt(N)``); for odd ``n`` it is ``p = (n+1)/2, q = (n-1)/2``
+    (``P = sqrt(2N)``), satisfying the paper's ``0 <= p - q <= 1``.
+    """
+    n = bit_width_of(n_points)
+    if n < 2:
+        raise ValueError(
+            f"FFT size must be at least 4 for a two-epoch split, got {n_points}"
+        )
+    p = (n + 1) // 2
+    q = n - p
+    return EpochSplit(n=n, p=p, q=q)

@@ -1,0 +1,109 @@
+"""Global address-changing rule P_j (paper Section II-B, second half).
+
+The paper relates the *original* FFT's stage-j data order ``X_j`` to the
+array structure's stage-j column order ``X'_j`` through a permutation
+``P_j``: ``X'_j = P_j X_j``.  Verbally:
+
+    "For DIF-FFT, the input data address for Stage j is represented as
+    A_j = a_{p-1}...a_1 a_0.  The corresponding new address in the modular
+    FFT, A'_j, is obtained by putting the (p-2)th bit of A_j in the jth
+    bit, and other bits are still kept in their original order."
+
+This module provides both that verbal rule (:func:`relocate_rule`) and the
+*operational* permutation chain (:func:`global_permutation`) induced by the
+verified machine semantics (accumulated local switches + fixed half-split
+module).  The two are compared in the test-suite; the operational chain is
+the one that provably yields a correct FFT (see
+:mod:`repro.addressing.matrices` for the Fig. 3 identity).
+"""
+
+from __future__ import annotations
+
+from .bitops import bit_reverse, relocate_bit
+from .local import stage_input_addresses
+
+__all__ = ["relocate_rule", "global_permutation", "column_labels"]
+
+
+def relocate_rule(addr: int, p: int, stage: int) -> int:
+    """The paper's verbal global rule applied to one ``p``-bit address.
+
+    Moves the bit at LSB position ``p - 2`` (i.e. the "(p-2)th bit" in the
+    paper's a_{p-1}..a_0 notation) to LSB position ``stage``, preserving
+    the relative order of the remaining bits.  Positions are clamped to the
+    valid range so stage indices near ``p`` stay well-defined.
+    """
+    if p < 2:
+        return addr
+    src_msb = 2  # LSB position p-2 == MSB-based position 2
+    dst_lsb = min(stage, p - 1)
+    dst_msb = p - dst_lsb
+    return relocate_bit(addr, p, src_msb, dst_msb)
+
+
+def global_permutation(p: int, stage: int) -> list:
+    """Operational P_j: original stage-``stage`` index -> column position.
+
+    Derived from the verified machine semantics.  The machine's stage-j
+    column is ``col_j[r] = CRF_j[sigma_j(r)]`` with ``sigma_j`` the
+    accumulated local switches, and the ping-pong write puts stage output
+    ``r`` back at CRF address ``r``.  Unwinding the recurrence against the
+    natural-order radix-2 DIF chain gives a pure bit permutation per stage;
+    we compute it by tracing where each original index lands.
+
+    The returned list maps *original* position ``u`` (of ``X_stage`` in the
+    natural-order DIF dataflow with inputs in natural order) to the column
+    position holding that value in the array structure.  Stage ``p + 1``
+    (the "output" pseudo-stage) is permitted and equals the bit-reversal
+    that aligns the original DIF output order with the machine's natural
+    output order.
+    """
+    if not (1 <= stage <= p + 1):
+        raise ValueError(f"stage must be in [1, {p + 1}], got {stage}")
+    size = 1 << p
+    if stage == p + 1:
+        # Machine output is the natural-order DFT; the original chain's
+        # X_{p+1} holds DFT[rev(u)] at index u, so P_{p+1} = bit-reverse.
+        return [bit_reverse(u, p) for u in range(size)]
+    labels = column_labels(p, stage)
+    perm = [0] * size
+    for r, u in enumerate(labels):
+        perm[u] = r
+    return perm
+
+
+def column_labels(p: int, stage: int) -> list:
+    """Original index ``u`` held at each column position of ``stage``.
+
+    Derived by integer label flow through the verified machine: the CRF
+    starts with labels 0..P-1 (``X_1 = x`` natural); each stage gathers at
+    the accumulated switch addresses and its butterflies combine a pair of
+    labels differing exactly in bit ``p - j`` (an invariant asserted here —
+    it *is* the correctness of the address-changing rule).  The sum output
+    inherits the label with that bit clear and the difference the label
+    with it set, matching the in-place convention of the original chain.
+    """
+    size = 1 << p
+    crf = list(range(size))
+    half = size // 2
+    for j in range(1, stage):
+        sigma = stage_input_addresses(p, j)
+        col = [crf[sigma[r]] for r in range(size)]
+        bit = p - j
+        out = [0] * size
+        for m in range(half):
+            u, v = col[m], col[m + half]
+            if u ^ v != (1 << bit):
+                raise AssertionError(
+                    f"stage {j} pairs labels ({u}, {v}) which do not "
+                    f"differ in bit {bit}; addressing rule broken"
+                )
+            if (u >> bit) & 1:
+                u, v = v, u
+            out[m] = u
+            out[m + half] = v
+        crf = out
+    sigma = stage_input_addresses(p, stage)
+    return [crf[sigma[r]] for r in range(size)]
+
+

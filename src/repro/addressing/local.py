@@ -1,0 +1,91 @@
+"""Local (inter-stage) address-changing rule L_j (paper Section II-B).
+
+Within an epoch, a group of ``P = 2**p`` intermediate values lives in the
+custom register file (CRF).  Between stage ``j-1``'s output column and stage
+``j``'s input column the data is *logically* shuffled; physically the values
+stay put and the **addresses** used to read them are permuted.
+
+The paper's rule, stated for MSB-based 1-origin bit positions:
+
+    "In stage j, the input address is obtained by switching the j-th and
+    (j-1)-th bit (from the leftmost bit) of the previous stage output
+    address."
+
+For stage 1 there is no previous stage: the input addresses are simply the
+low ``p`` bits of the epoch input addresses, i.e. the natural order
+``0..P-1``.  After the last stage, a final bit-reversal ``R`` maps the last
+output column to the epoch's memory output order (the ``fed`` step in
+Fig. 2).
+
+This module exposes the rule both as a per-address function and as a whole
+column permutation, plus the composed "stage input order" used by the BU
+scheduler and the AC hardware model.
+"""
+
+from __future__ import annotations
+
+from .bitops import bit_reverse, swap_bits_msb
+
+__all__ = [
+    "local_switch",
+    "local_permutation",
+    "stage_input_addresses",
+    "stage_read_order",
+    "final_bit_reverse",
+]
+
+
+def local_switch(addr: int, p: int, stage: int) -> int:
+    """Apply the inter-stage switch L_stage to one ``p``-bit address.
+
+    ``stage`` is the 1-origin index of the stage *receiving* the data; the
+    switch exchanges MSB-positions ``stage`` and ``stage - 1`` of the
+    previous stage's output address.  ``stage`` must be >= 2 (stage 1 has no
+    predecessor and no switch).
+    """
+    if stage < 2:
+        raise ValueError(f"L_j is defined for stages >= 2, got {stage}")
+    if stage > p:
+        raise ValueError(f"stage {stage} exceeds stage count p={p}")
+    return swap_bits_msb(addr, p, stage, stage - 1)
+
+
+def local_permutation(p: int, stage: int) -> list:
+    """Whole-column permutation for L_stage over ``2**p`` addresses.
+
+    Element ``k`` of the result is ``local_switch(k, p, stage)``.
+    """
+    return [local_switch(a, p, stage) for a in range(1 << p)]
+
+
+def stage_input_addresses(p: int, stage: int) -> list:
+    """CRF read-address sequence for stage ``stage`` (1-origin).
+
+    Position ``r`` of the returned list is the CRF address holding the
+    value that the stage's ``r``-th logical input slot consumes.  Stage 1
+    reads in natural order.  For stage ``j >= 2`` the order is obtained by
+    applying the accumulated switches L_2 .. L_j to the natural order —
+    because each stage writes its outputs back *in place* (same address as
+    the inputs it consumed, WA == RA in the paper's Fig. 4), the logical
+    shuffles compose.
+    """
+    if not (1 <= stage <= p):
+        raise ValueError(f"stage must be in [1, {p}], got {stage}")
+    addrs = list(range(1 << p))
+    for j in range(2, stage + 1):
+        addrs = [local_switch(a, p, j) for a in addrs]
+    return addrs
+
+
+def stage_read_order(p: int, stage: int) -> list:
+    """Alias of :func:`stage_input_addresses` matching the AC-logic name."""
+    return stage_input_addresses(p, stage)
+
+
+def final_bit_reverse(p: int) -> list:
+    """The R step of Fig. 2: full ``p``-bit reversal after the last stage.
+
+    Maps the logical output index of the last stage to the low-``p``-bit
+    part of the epoch's memory output address.
+    """
+    return [bit_reverse(a, p) for a in range(1 << p)]

@@ -1,0 +1,166 @@
+"""Matrix formulation of the address-changing proof (paper Fig. 3).
+
+The paper proves correctness of the array structure via per-stage operator
+identities ``P_{j+1} B_j = L_j A P_j`` chained into
+``X'_{n+1} = P_{n+1} X_{n+1}``.  This module builds all the operators as
+explicit numpy matrices so the identity is *executable*:
+
+* ``module_matrix``      — A (with stage-j ROM coefficients), the fixed
+  half-split 4-butterfly-per-8-points module;
+* ``gather_matrix``      — L_j, the accumulated local address switch as a
+  permutation matrix (column gather);
+* ``global_matrix``      — P_j, from :func:`repro.addressing.global_rule.
+  global_permutation`;
+* ``original_stage_matrix`` — B_j, *derived* from the identity
+  ``B_j = P_{j+1}^T (L_j-then-A) P_j`` and checkable against the classic
+  radix-2 stage structure with :func:`is_butterfly_stage`.
+
+The machine operator product ``prod_j (A_j L_j)`` equals the DFT matrix —
+that is the executable content of the paper's proof, asserted in
+``tests/test_matrices.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coefficients import rom_coefficient_index
+from .global_rule import global_permutation
+from .local import stage_input_addresses
+
+__all__ = [
+    "permutation_matrix",
+    "gather_matrix",
+    "module_matrix",
+    "global_matrix",
+    "original_stage_matrix",
+    "machine_matrix",
+    "dft_matrix",
+    "is_butterfly_stage",
+    "verify_stage_identity",
+]
+
+
+def permutation_matrix(perm) -> np.ndarray:
+    """Matrix ``M`` with ``(M x)[r] = x[perm[r]]`` for index map ``perm``."""
+    size = len(perm)
+    mat = np.zeros((size, size))
+    for r, c in enumerate(perm):
+        mat[r, c] = 1.0
+    return mat
+
+
+def gather_matrix(p: int, stage: int) -> np.ndarray:
+    """L_j as a matrix: column[r] = CRF[sigma_j(r)]."""
+    return permutation_matrix(stage_input_addresses(p, stage))
+
+
+def module_matrix(p: int, stage: int) -> np.ndarray:
+    """The fixed module A with stage-``stage`` ROM coefficients.
+
+    Half-split pairing over the ``P = 2**p``-entry column: butterfly ``m``
+    combines positions ``m`` and ``m + P/2`` with the DIT-style twiddle on
+    the second input, coefficient index from the ROM stride rule.
+    """
+    size = 1 << p
+    half = size // 2
+    tw = np.exp(-2j * np.pi * np.arange(size) / size)
+    mat = np.zeros((size, size), dtype=complex)
+    for m in range(half):
+        c = tw[rom_coefficient_index(size, stage, m)]
+        mat[m, m] = 1.0
+        mat[m, m + half] = c
+        mat[m + half, m] = 1.0
+        mat[m + half, m + half] = -c
+    return mat
+
+
+def global_matrix(p: int, stage: int) -> np.ndarray:
+    """P_j as a matrix (``X'_j = P_j X_j``)."""
+    perm = global_permutation(p, stage)
+    size = 1 << p
+    mat = np.zeros((size, size))
+    for u, r in enumerate(perm):
+        mat[r, u] = 1.0
+    return mat
+
+
+def original_stage_matrix(p: int, stage: int) -> np.ndarray:
+    """B_j derived from the Fig. 3 identity.
+
+    The stage-j column recurrence of the machine is
+    ``col_{j+1} = L_{j+1} A_j col_j`` (for the last stage the output column
+    is read without a further switch), so with ``col_j = P_j X_j``:
+
+        B_j = P_{j+1}^T  L_{j+1}  A_j  P_j          (j < p)
+        B_p = P_{p+1}^T  A_p  P_p
+
+    With permutation matrices ``P^{-1} = P^T``.  The derived B_j is a
+    classic in-place radix-2 stage pairing indices that differ in bit
+    ``p - j`` — checked by :func:`is_butterfly_stage`.
+    """
+    stage_op = module_matrix(p, stage)
+    if stage < p:
+        stage_op = gather_matrix(p, stage + 1) @ stage_op
+    return global_matrix(p, stage + 1).T @ stage_op @ global_matrix(p, stage)
+
+
+def machine_matrix(p: int) -> np.ndarray:
+    """Full machine operator ``prod_{j=p..1} A_j L_j`` — equals the DFT."""
+    size = 1 << p
+    mat = np.eye(size, dtype=complex)
+    for stage in range(1, p + 1):
+        mat = module_matrix(p, stage) @ gather_matrix(p, stage) @ mat
+    return mat
+
+
+def dft_matrix(size: int) -> np.ndarray:
+    """The ``size``-point DFT matrix ``W^{kl}``."""
+    k = np.arange(size)
+    return np.exp(-2j * np.pi * np.outer(k, k) / size)
+
+
+def is_butterfly_stage(mat: np.ndarray, atol: float = 1e-9):
+    """Check that ``mat`` is a radix-2 butterfly stage.
+
+    Returns the pairing distance (the single bit the pairs differ in, as a
+    power of two) if every row has exactly two unit-modulus entries at
+    indices differing in one bit, else ``None``.
+    """
+    size = mat.shape[0]
+    distance = None
+    for r in range(size):
+        cols = np.nonzero(np.abs(mat[r]) > atol)[0]
+        if len(cols) != 2:
+            return None
+        delta = int(cols[1] - cols[0])
+        if delta <= 0 or (delta & (delta - 1)) != 0:
+            return None
+        if r not in (cols[0], cols[1]):
+            return None
+        if distance is None:
+            distance = delta
+        elif distance != delta:
+            return None
+        if not np.allclose(np.abs(mat[r, cols]), 1.0, atol=atol):
+            return None
+    return distance
+
+
+def verify_stage_identity(p: int, stage: int, atol: float = 1e-9) -> bool:
+    """Check the Fig. 3 stage identity *and* that B_j is a real FFT stage.
+
+    ``P_{j+1} B_j == L_{j+1} A_j P_j`` holds by construction of
+    :func:`original_stage_matrix`; the substantive check is that the
+    derived B_j is an in-place radix-2 butterfly stage pairing bit
+    ``p - stage`` — that is exactly the paper's claim that the address-
+    changed module computes the original FFT.
+    """
+    b = original_stage_matrix(p, stage)
+    lhs = global_matrix(p, stage + 1) @ b
+    rhs = module_matrix(p, stage) @ global_matrix(p, stage)
+    if stage < p:
+        rhs = gather_matrix(p, stage + 1) @ rhs
+    if not np.allclose(lhs, rhs, atol=atol):
+        return False
+    return is_butterfly_stage(b, atol=atol) == (1 << (p - stage))

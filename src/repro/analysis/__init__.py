@@ -1,0 +1,16 @@
+"""Analysis helpers: table rendering, sweeps and verification."""
+
+from .sweep import PAPER_TABLE1, size_sweep, table1_rows
+from .tables import format_ratio, render_table
+from .verify import max_error, spectrum_snr_db, verify_against_numpy
+
+__all__ = [
+    "render_table",
+    "format_ratio",
+    "size_sweep",
+    "table1_rows",
+    "PAPER_TABLE1",
+    "max_error",
+    "verify_against_numpy",
+    "spectrum_snr_db",
+]

@@ -1,0 +1,53 @@
+"""Parameter sweeps over FFT sizes (Table I and the scalability claims)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..asip.runner import AsipRunResult, simulate_fft
+from ..asip.throughput import paper_mbps
+
+__all__ = ["size_sweep", "PAPER_TABLE1", "table1_rows"]
+
+#: the paper's Table I: size -> (cycles, Mbps)
+PAPER_TABLE1 = {
+    64: (197, 584.7),
+    128: (402, 572.2),
+    256: (851, 540.9),
+    512: (1828, 502.2),
+    1024: (4168, 440.6),
+}
+
+
+def size_sweep(sizes, seed: int = 2009, fixed_point: bool = False) -> dict:
+    """Simulate one FFT per size; returns {N: AsipRunResult}."""
+    rng = np.random.default_rng(seed)
+    results = {}
+    for n in sizes:
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        if fixed_point:
+            x *= 0.25  # headroom for the Q1.15 datapath
+        result: AsipRunResult = simulate_fft(x, fixed_point=fixed_point)
+        reference = np.fft.fft(x)
+        scale = 1.0 / n if fixed_point else 1.0
+        tolerance = 0.05 if fixed_point else 1e-6
+        if not np.allclose(result.spectrum, reference * scale,
+                           atol=tolerance):
+            raise AssertionError(f"wrong spectrum at N={n}")
+        results[n] = result
+    return results
+
+
+def table1_rows(results: dict) -> list:
+    """Rows (N, cycles, paper cycles, Mbps, paper Mbps) for rendering."""
+    rows = []
+    for n, result in sorted(results.items()):
+        paper_cycles, paper_rate = PAPER_TABLE1.get(n, (None, None))
+        rows.append((
+            n,
+            result.stats.cycles,
+            paper_cycles if paper_cycles else "-",
+            round(paper_mbps(n, result.stats.cycles), 1),
+            paper_rate if paper_rate else "-",
+        ))
+    return rows

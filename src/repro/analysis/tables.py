@@ -1,0 +1,39 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "format_ratio"]
+
+
+def render_table(headers, rows, title: str = "") -> str:
+    """Render an ASCII table: auto-sized columns, right-aligned numbers."""
+    headers = [str(h) for h in headers]
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:,.1f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def format_ratio(value: float) -> str:
+    """The paper's improvement-factor style: '866.5X'."""
+    return f"{value:.1f}X"

@@ -1,0 +1,29 @@
+"""Numerical verification helpers used by tests, examples and benches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.fixed_point import snr_db
+
+__all__ = ["max_error", "verify_against_numpy", "spectrum_snr_db"]
+
+
+def max_error(measured, reference) -> float:
+    """Largest absolute complex deviation."""
+    measured = np.asarray(measured, dtype=complex)
+    reference = np.asarray(reference, dtype=complex)
+    return float(np.max(np.abs(measured - reference)))
+
+
+def verify_against_numpy(measured, x, scale: float = 1.0,
+                         atol: float = 1e-6) -> bool:
+    """True when ``measured`` matches ``scale * numpy.fft.fft(x)``."""
+    reference = scale * np.fft.fft(np.asarray(x, dtype=complex))
+    return bool(np.allclose(measured, reference, atol=atol))
+
+
+def spectrum_snr_db(measured, x, scale: float = 1.0) -> float:
+    """SNR of ``measured`` against the scaled numpy spectrum, in dB."""
+    reference = scale * np.fft.fft(np.asarray(x, dtype=complex))
+    return snr_db(reference, measured)

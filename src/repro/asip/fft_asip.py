@@ -1,0 +1,285 @@
+"""The array-FFT ASIP: base core + BU, CRF, ROM and AC-logic extension.
+
+Microarchitectural conventions (our concrete realisation of Section III,
+recorded in DESIGN.md):
+
+* **Memory layout** (point addresses; one 32-bit word per complex point,
+  the 64-bit bus moves two points per beat):
+  input at ``[0, N)`` in the paper's AI0 (corner-turned, group-contiguous)
+  order, inter-epoch scratch at ``[N, 2N)`` laid out ``s*Q + l``, output
+  at ``[2N, 3N)`` in natural spectral order.
+* **LDIN rs, rt** loads points ``mem[rs], mem[rs + k0]`` into CRF entries
+  ``rt, rt+1`` and post-increments ``rs += 2*k0``, ``rt += 2`` — the
+  hardware post-increment that "removes all the address calculation
+  instructions from the assembly code" (Section III-A).  ``k0`` (r26) is
+  the memory point-stride configuration register.
+* **STOUT rs, rt** stores CRF entries ``rs, rs+1`` to ``mem[rt],
+  mem[rt + k0]`` with the same post-increment; ``imm = 1`` selects the
+  epoch-0 variant that applies the inter-epoch pre-rotation ``W_N^{sl}``
+  on the way out (Algorithm 1 line 15), with ``(s, l)`` decoded from the
+  scratch-relative store address.
+* **BUT4 rs, rt** executes one BU op for module ``reg[rs]`` and stage
+  ``reg[rt]`` (both 1-origin).  All CRF/ROM addresses come from the AC
+  logic.  Completing the last module of a stage swaps the ping-pong CRF
+  banks.  ``k1`` (r27) holds the current epoch's group size; the decoder
+  re-configures the AC logic when it changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..addressing.bitops import bit_reverse, bit_width_of
+from ..addressing.coefficients import PreRotationStore
+from ..core.fixed_point import FixedPointContext, quantize
+from ..core.plan import ArrayFFTPlan, build_plan
+from ..isa.instructions import Instruction, Opcode
+from ..sim.ac_logic import AddressChangingLogic
+from ..sim.bu_unit import BUFunctionalUnit
+from ..sim.cache import CacheConfig
+from ..sim.crf import CustomRegisterFile
+from ..sim.errors import SimulationError
+from ..sim.machine import Machine
+from ..sim.memory import MainMemory
+from ..sim.pipeline import PipelineConfig
+from ..sim.rom import CoefficientROM
+
+__all__ = ["FFTASIP", "STRIDE_REG", "STOUT_STRIDE_REG", "GROUP_SIZE_REG"]
+
+STRIDE_REG = 26        # k0: LDIN memory point stride
+STOUT_STRIDE_REG = 25  # STOUT memory point stride
+GROUP_SIZE_REG = 27    # k1: current epoch group size (points)
+
+
+class _QuantizedButterflyArithmetic:
+    """Adapter running BU lanes through the Q1.15 datapath.
+
+    CRF entries stay Python complex; every value written by LDIN or a
+    butterfly lies on the Q1.15 grid, so re-quantising inputs is lossless
+    and the sequence of operations is bit-true.
+    """
+
+    def __init__(self, context: FixedPointContext):
+        self.context = context
+
+    def butterfly(self, a: complex, b: complex, w: complex) -> tuple:
+        s, d = self.context.butterfly(
+            quantize(complex(a)), quantize(complex(b)), quantize(complex(w))
+        )
+        return s.to_complex(), d.to_complex()
+
+
+class FFTASIP(Machine):
+    """The paper's processor: PISA-like core with the FFT extension.
+
+    Parameters
+    ----------
+    n_points:
+        FFT size the datapath is provisioned for (CRF depth = P, ROM = P/2
+        entries).  Programs for smaller sizes also run: the CRF is sized
+        by the largest group.
+    fixed_point:
+        Selects the bit-true Q1.15 datapath (with per-stage scaling) or
+        the idealised float datapath.
+    """
+
+    def __init__(self, n_points: int, cache_config: CacheConfig = None,
+                 pipeline: PipelineConfig = None, fixed_point: bool = False,
+                 memory_words: int = None):
+        plan = build_plan(n_points)
+        words = memory_words or max(4 * n_points, 4096)
+        super().__init__(
+            MainMemory(words, float_mode=not fixed_point),
+            cache_config=cache_config,
+            pipeline=pipeline or PipelineConfig(),
+        )
+        self.plan: ArrayFFTPlan = plan
+        self.n_points = n_points
+        self.fixed_point = fixed_point
+        self.fx = FixedPointContext() if fixed_point else None
+        arithmetic = _QuantizedButterflyArithmetic(self.fx) if fixed_point else None
+        self.crf = CustomRegisterFile(plan.crf_entries)
+        self.rom = CoefficientROM(plan.split.P)
+        self.ac = AddressChangingLogic()
+        self.bu = BUFunctionalUnit(arithmetic=arithmetic)
+        self.prerotation = (
+            PreRotationStore(n_points) if n_points >= 8
+            else _SmallPreRotation(n_points)
+        )
+        self.input_base = 0
+        self.scratch_base = n_points
+        self.output_base = 2 * n_points
+        self._configured_group_size = None
+        # Hardware address sequencers for LDIN / STOUT: within-group point
+        # count and the latched group start address (Section III-A: the
+        # decoder generates the whole AO0/AI1 address walk; software only
+        # issues the ops).
+        self._flow = {"ldin": [0, 0], "stout": [0, 0]}
+
+    # Data staging ---------------------------------------------------------
+
+    def load_input(self, x) -> None:
+        """Stage the input vector in the paper's AI0 memory order.
+
+        Natural-order ``x`` is corner-turned so that epoch-0 group ``l``
+        occupies the contiguous points ``[l*P, (l+1)*P)``: point
+        ``l*P + m`` holds ``x[Q*m + l]``.
+        """
+        x = np.asarray(x, dtype=complex)
+        if len(x) != self.n_points:
+            raise ValueError(
+                f"ASIP provisioned for N={self.n_points}, got {len(x)}"
+            )
+        split = self.plan.split
+        for l in range(split.Q):
+            for m in range(split.P):
+                self.memory.write_complex(
+                    self.input_base + l * split.P + m, complex(x[split.Q * m + l])
+                )
+
+    def read_output(self) -> np.ndarray:
+        """Read back the natural-order spectrum from the output region."""
+        return self.memory.read_complex_vector(self.output_base, self.n_points)
+
+    # Custom instruction execution ------------------------------------------
+
+    def execute_custom(self, instr: Instruction) -> int:
+        if instr.opcode is Opcode.BUT4:
+            return self._exec_but4(instr)
+        if instr.opcode is Opcode.LDIN:
+            return self._exec_ldin(instr)
+        if instr.opcode is Opcode.STOUT:
+            return self._exec_stout(instr)
+        raise SimulationError(f"unexpected custom opcode {instr.opcode}")
+
+    def _group_size(self) -> int:
+        size = self.read_reg(GROUP_SIZE_REG)
+        if size <= 0:
+            raise SimulationError(
+                "group-size register k1 not configured before custom op"
+            )
+        if size != self._configured_group_size:
+            self.ac.configure(size)
+            self._configured_group_size = size
+            self._flow = {"ldin": [0, 0], "stout": [0, 0]}
+        return size
+
+    def _stride(self, register: int = STRIDE_REG) -> int:
+        stride = self.read_reg(register)
+        return stride if stride > 0 else 1
+
+    def _exec_but4(self, instr: Instruction) -> int:
+        self.stats.count_custom("but4")
+        size = self._group_size()
+        module = self.read_reg(instr.rs)
+        stage = self.read_reg(instr.rt)
+        addresses = self.ac.addresses(module, stage)
+        self.bu.execute(addresses, self.crf, self.rom, size)
+        if module == self.ac.modules_per_stage():
+            self.crf.swap_banks()
+        return self.pipeline.but4_latency - 1
+
+    def _advance_cursor(self, kind: str, size: int, stride: int,
+                        mem: int) -> int:
+        """Hardware address sequencing for one 2-point LDIN/STOUT.
+
+        Within a group of ``size`` points the cursor advances by
+        ``2*stride``; completing a group rewinds to the next group's start
+        (``group_start + 1`` for strided walks — the transpose pattern of
+        AO0/AI1 — or ``group_start + size`` for contiguous ones).  The
+        group start is latched from the software-visible cursor whenever a
+        group begins, so software may reload the pointer register at any
+        group boundary.
+        """
+        count, start = self._flow[kind]
+        if count == 0:
+            start = mem
+        count += 2
+        if count >= size:
+            next_start = start + (1 if stride > 1 else size)
+            self._flow[kind] = [0, next_start]
+            return next_start
+        self._flow[kind] = [count, start]
+        return mem + 2 * stride
+
+    def _exec_ldin(self, instr: Instruction) -> int:
+        self.stats.count_custom("ldin")
+        self.stats.loads += 1
+        size = self._group_size()
+        stride = self._stride()
+        mem = self.read_reg(instr.rs)
+        crf = self.read_reg(instr.rt)
+        extra = 0
+        for k in range(2):
+            address = mem + k * stride
+            extra = max(extra, self._probe_cache(address, is_write=False))
+            value = self.memory.read_complex(address)
+            if self.fixed_point:
+                value = quantize(complex(value)).to_complex()
+            self.crf.write((crf + k) % size, value)
+        self.write_reg(instr.rs, self._advance_cursor("ldin", size, stride, mem))
+        self.write_reg(instr.rt, (crf + 2) % size)
+        return self.pipeline.custom_mem_latency - 1 + extra
+
+    def _exec_stout(self, instr: Instruction) -> int:
+        self.stats.count_custom("stout")
+        self.stats.stores += 1
+        size = self._group_size()
+        stride = self._stride(STOUT_STRIDE_REG)
+        crf = self.read_reg(instr.rs)
+        mem = self.read_reg(instr.rt)
+        prerotate = bool(instr.imm & 1)
+        extra = 0
+        for k in range(2):
+            address = mem + k * stride
+            extra = max(extra, self._probe_cache(address, is_write=True))
+            value = self.crf.read((crf + k) % size)
+            if prerotate:
+                value = self._apply_prerotation(address, value)
+            self.memory.write_complex(address, value)
+        self.write_reg(instr.rs, (crf + 2) % size)
+        self.write_reg(instr.rt, self._advance_cursor("stout", size, stride, mem))
+        return self.pipeline.custom_mem_latency - 1 + extra
+
+    def _apply_prerotation(self, address: int, value: complex) -> complex:
+        split = self.plan.split
+        rel = address - self.scratch_base
+        if not (0 <= rel < self.n_points):
+            raise SimulationError(
+                f"pre-rotating STOUT targets {address}, outside the "
+                f"scratch region [{self.scratch_base}, "
+                f"{self.scratch_base + self.n_points})"
+            )
+        s, l = divmod(rel, split.Q)
+        weight = self.prerotation.weight(s, l)
+        if self.fixed_point:
+            product = self.fx.multiply(
+                quantize(complex(value)), quantize(complex(weight))
+            )
+            return product.to_complex()
+        return value * weight
+
+    def _probe_cache(self, point_address: int, is_write: bool) -> int:
+        """Cache-account one point access; returns extra cycles beyond 1."""
+        if self.dcache is None:
+            return 0
+        latency = self.dcache.access(point_address, is_write)
+        if latency > self.dcache.config.hit_latency:
+            self.stats.dcache_misses += 1
+        else:
+            self.stats.dcache_hits += 1
+        if not self.charge_cache_latency:
+            return 0
+        return latency - self.dcache.config.hit_latency
+
+
+class _SmallPreRotation:
+    """Exact weights for N < 8 where the octant store degenerates."""
+
+    def __init__(self, n_points: int):
+        bit_width_of(n_points)
+        self.n_points = n_points
+
+    def weight(self, s: int, l: int) -> complex:
+        angle = -2.0 * np.pi * ((s * l) % self.n_points) / self.n_points
+        return complex(np.cos(angle), np.sin(angle))

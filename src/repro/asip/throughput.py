@@ -1,0 +1,64 @@
+"""Throughput metrics (Table I's reporting conventions).
+
+The ASIP clocks at 300 MHz (BU critical path 3.2 ns, Section IV).  Table
+I's "Mbps" column is numerically consistent with **6 bits accounted per
+sample point**: ``Mbps = 6 * N * f / cycles / 1e6`` reproduces all five
+published rows from the published cycle counts to within rounding.  We
+report samples/s as the physically unambiguous metric and provide the
+paper's convention for direct row-by-row comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CLOCK_HZ", "ThroughputReport", "throughput_report",
+           "paper_mbps", "msamples_per_second"]
+
+CLOCK_HZ = 300_000_000
+_PAPER_BITS_PER_POINT = 6
+
+
+def msamples_per_second(n_points: int, cycles: int,
+                        clock_hz: float = CLOCK_HZ) -> float:
+    """Sample throughput in Msample/s."""
+    if cycles <= 0:
+        raise ValueError("cycle count must be positive")
+    return n_points * clock_hz / cycles / 1e6
+
+
+def paper_mbps(n_points: int, cycles: int, clock_hz: float = CLOCK_HZ) -> float:
+    """Table I's Mbps convention (6 bits per sample point)."""
+    return _PAPER_BITS_PER_POINT * msamples_per_second(
+        n_points, cycles, clock_hz
+    )
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """One Table-I row."""
+
+    n_points: int
+    cycles: int
+    msamples: float
+    mbps_paper_convention: float
+
+    def row(self) -> tuple:
+        """(N, cycles, Msample/s, paper-Mbps) for table rendering."""
+        return (
+            self.n_points,
+            self.cycles,
+            round(self.msamples, 1),
+            round(self.mbps_paper_convention, 1),
+        )
+
+
+def throughput_report(n_points: int, cycles: int,
+                      clock_hz: float = CLOCK_HZ) -> ThroughputReport:
+    """Build the throughput row for one simulated FFT run."""
+    return ThroughputReport(
+        n_points=n_points,
+        cycles=cycles,
+        msamples=msamples_per_second(n_points, cycles, clock_hz),
+        mbps_paper_convention=paper_mbps(n_points, cycles, clock_hz),
+    )

@@ -1,0 +1,18 @@
+"""Table II comparison implementations (the paper's implementations 1-3)."""
+
+from .pisa_sw import SoftwareFFTBaseline, generate_software_fft
+from .table2 import PAPER_TABLE2, Table2Row, run_table2
+from .ti_vliw import ButterflyKernel, TIVliwModel, VliwResources
+from .xtensa import XtensaFFTModel
+
+__all__ = [
+    "SoftwareFFTBaseline",
+    "generate_software_fft",
+    "TIVliwModel",
+    "VliwResources",
+    "ButterflyKernel",
+    "XtensaFFTModel",
+    "Table2Row",
+    "run_table2",
+    "PAPER_TABLE2",
+]

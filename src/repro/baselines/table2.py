@@ -1,0 +1,80 @@
+"""Table II assembly: run all four implementations and form the ratios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..asip.runner import simulate_fft
+from .pisa_sw import SoftwareFFTBaseline
+from .ti_vliw import TIVliwModel
+from .xtensa import XtensaFFTModel
+
+__all__ = ["Table2Row", "run_table2", "PAPER_TABLE2"]
+
+#: the paper's published Table II values for 1024 points
+PAPER_TABLE2 = {
+    "standard_sw": {"cycles": 3_611_551, "loads": 91_675,
+                    "stores": 91_677, "misses": 114_575},
+    "ti_dsp": {"cycles": 24_976, "loads": None, "stores": None,
+               "misses": 9_944},
+    "xtensa": {"cycles": 9_705, "loads": 5_494, "stores": 5_301,
+               "misses": 284},
+    "proposed": {"cycles": 4_168, "loads": 1_059, "stores": 1_192,
+                 "misses": 106},
+}
+
+
+@dataclass
+class Table2Row:
+    """One implementation's measured counters."""
+
+    name: str
+    cycles: int
+    loads: int
+    stores: int
+    misses: int
+
+    def improvement_over(self, other: "Table2Row") -> float:
+        """Cycle-count ratio ``other / self`` (the paper's X factors)."""
+        return other.cycles / self.cycles
+
+
+def run_table2(n_points: int = 1024, seed: int = 2009) -> dict:
+    """Simulate all four implementations of Table II for ``n_points``.
+
+    Returns a dict of :class:`Table2Row` keyed like :data:`PAPER_TABLE2`.
+    Implementations 1 and 4 are instruction-level simulations; 2 and 3 are
+    the resource/memory-bound models described in their modules.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n_points) + 1j * rng.standard_normal(n_points)
+
+    sw_spectrum, sw = SoftwareFFTBaseline(n_points).run(x)
+    if not np.allclose(sw_spectrum, np.fft.fft(x), atol=1e-6):
+        raise AssertionError("software baseline produced a wrong spectrum")
+    ti = TIVliwModel(n_points).simulate()
+    xt = XtensaFFTModel(n_points).simulate()
+    ours = simulate_fft(x)
+    if not np.allclose(ours.spectrum, np.fft.fft(x), atol=1e-6):
+        raise AssertionError("ASIP produced a wrong spectrum")
+
+    return {
+        "standard_sw": Table2Row(
+            "Standard SW FFT (PISA)", sw.cycles, sw.loads, sw.stores,
+            sw.dcache_misses,
+        ),
+        "ti_dsp": Table2Row(
+            "TI C6713 DSP (model)", ti.cycles, ti.loads, ti.stores,
+            ti.dcache_misses,
+        ),
+        "xtensa": Table2Row(
+            "Xtensa FFT ASIP (model)", xt.cycles, xt.loads, xt.stores,
+            xt.dcache_misses,
+        ),
+        "proposed": Table2Row(
+            "Proposed array FFT ASIP", ours.stats.cycles, ours.stats.loads,
+            ours.stats.stores, ours.stats.dcache_misses,
+        ),
+    }

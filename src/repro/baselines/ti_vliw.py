@@ -1,0 +1,142 @@
+"""Implementation 2 of Table II: software-pipelined FFT on a C6713-class
+8-issue VLIW DSP.
+
+The paper models TI's TMS320C6713 as issuing 8 operations per cycle
+(2 LD/ST, 2 MULT, 2 ADD/SUB, 2 branch/other) over a 128-bit bus, with "the
+average processing time for a butterfly operation about 4 cycles after
+software pipelining".  We reproduce that number from first principles with
+a resource-bound modulo-scheduling model: the radix-2 butterfly kernel's
+operation mix is tabulated, the initiation interval (II) is the maximum
+resource pressure across unit classes, and per-stage prologue/epilogue and
+loop overhead are added.  Data-cache misses come from streaming the
+butterfly access pattern through a C6713-like L1D model (4 KB — too small
+for the 1024-point working set, which is what drives the paper's high TI
+miss count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..addressing.bitops import bit_width_of
+from ..sim.cache import CacheConfig, DataCache
+from ..sim.stats import SimStats
+
+__all__ = ["VliwResources", "ButterflyKernel", "TIVliwModel"]
+
+
+@dataclass(frozen=True)
+class VliwResources:
+    """Issue slots per cycle of the modelled VLIW."""
+
+    ldst: int = 2
+    mult: int = 2
+    alu: int = 2
+    branch: int = 2
+
+
+@dataclass(frozen=True)
+class ButterflyKernel:
+    """Operation mix of one radix-2 butterfly in the pipelined loop.
+
+    With 64-bit LD/ST units a complex point moves in one memory op: 2
+    loads + 2 stores for the data, plus one twiddle load (the optimised
+    TI code streams a precomputed twiddle table).  4 multiplies and 6
+    add/subtracts form the complex arithmetic; 2 ALU ops update addresses.
+    """
+
+    mem_ops: int = 5
+    mult_ops: int = 4
+    alu_ops: int = 8
+    branch_ops: int = 1
+
+    def initiation_interval(self, res: VliwResources) -> int:
+        """Resource-bound II of the software-pipelined loop."""
+        return max(
+            math.ceil(self.mem_ops / res.ldst),
+            math.ceil(self.mult_ops / res.mult),
+            math.ceil(self.alu_ops / res.alu),
+            math.ceil(self.branch_ops / res.branch),
+        )
+
+
+class TIVliwModel:
+    """Cycle/miss model of the TI software FFT for one size N."""
+
+    #: software-pipeline fill/drain per stage loop (schedule depth ~ II*4)
+    PROLOGUE_EPILOGUE = 18
+    #: per-stage setup (twiddle pointers, block bounds)
+    STAGE_SETUP = 7
+    #: one-off call/return and parameter setup
+    FIXED_OVERHEAD = 60
+    #: the final bit-reversal pass runs at ~4 cycles/point (2 LD + 2 ST
+    #: across 2 LD/ST units with address swizzling on the ALUs)
+    BITREV_CYCLES_PER_POINT = 4
+
+    def __init__(self, n_points: int, resources: VliwResources = None,
+                 kernel: ButterflyKernel = None):
+        self.n_points = n_points
+        self.stages = bit_width_of(n_points)
+        self.resources = resources or VliwResources()
+        self.kernel = kernel or ButterflyKernel()
+        # C6713 L1D: 4 KB direct-mapped with short (8-byte) lines over
+        # word addresses — 512 sets x 1 way x 2 words x 4 bytes.
+        self.l1d_config = CacheConfig(
+            sets=512, ways=1, block_words=2, hit_latency=1, miss_penalty=8
+        )
+
+    @property
+    def butterflies_per_stage(self) -> int:
+        """N/2 butterflies in each of the log2 N stages."""
+        return self.n_points // 2
+
+    def cycle_count(self) -> int:
+        """Total modelled cycles for one N-point FFT."""
+        ii = self.kernel.initiation_interval(self.resources)
+        per_stage = (
+            ii * self.butterflies_per_stage
+            + self.PROLOGUE_EPILOGUE
+            + self.STAGE_SETUP
+        )
+        return (
+            self.stages * per_stage
+            + self.BITREV_CYCLES_PER_POINT * self.n_points
+            + self.FIXED_OVERHEAD
+        )
+
+    def simulate(self) -> SimStats:
+        """Produce the Table II row: cycles and D-cache misses.
+
+        The paper leaves TI loads/stores unreported ("-"); we do the same
+        (zero counters) while still deriving misses by replaying the
+        butterfly access stream through the L1D model.
+        """
+        stats = SimStats()
+        stats.cycles = self.cycle_count()
+        cache = DataCache(self.l1d_config)
+        n = self.n_points
+        block = n
+        # Interleaved complex layout (re, im adjacent): point i occupies
+        # words 2i and 2i+1, i.e. one 8-byte line.  The 1024-point working
+        # set (8 KB) exceeds the 4 KB L1D, so every stage re-streams it —
+        # the mechanism behind the paper's large TI miss count.
+        for _ in range(self.stages):
+            half = block // 2
+            for base in range(0, n, block):
+                for t in range(half):
+                    i0, i1 = base + t, base + t + half
+                    for point in (i0, i1):
+                        cache.access(2 * point, is_write=False)
+                        cache.access(2 * point + 1, is_write=False)
+                        cache.access(2 * point, is_write=True)
+                        cache.access(2 * point + 1, is_write=True)
+            block //= 2
+        stats.dcache_misses = cache.misses
+        stats.dcache_hits = cache.hits
+        stats.instructions = (
+            self.stages * self.butterflies_per_stage
+            * (self.kernel.mem_ops + self.kernel.mult_ops
+               + self.kernel.alu_ops + self.kernel.branch_ops)
+        )
+        return stats

@@ -1,0 +1,88 @@
+"""Implementation 3 of Table II: the Xtensa FFT ASIP (TIE instructions).
+
+Per the paper, Tensilica's FFT application note adds TIE instructions that
+"parallelize the data load/store and computation operations", hiding every
+butterfly behind the loads and stores of the next data set.  The
+consequence the paper leans on: *memory operations are the bottleneck* —
+"even if they employ a butterfly unit with four parallel computations...
+their throughput will not change".
+
+The model therefore books one issue slot per wide (2-point) load/store and
+zero visible cycles for butterflies, plus twiddle streaming and per-stage
+loop overheads; every unit FFT computation loads from and stores to
+memory, so the access stream is N points per stage in both directions —
+that is exactly why the paper's Xtensa loads/stores are ~5x the proposed
+design's and why its miss count (284) sits near the compulsory footprint.
+"""
+
+from __future__ import annotations
+
+from ..addressing.bitops import bit_width_of
+from ..sim.cache import CacheConfig, DataCache
+from ..sim.stats import SimStats
+
+__all__ = ["XtensaFFTModel"]
+
+
+class XtensaFFTModel:
+    """Cycle/load/store/miss model of the Xtensa TIE FFT for size N."""
+
+    #: pipelined overlap of the store stream with the next load stream
+    #: (dual-ported local memory interface): fraction of memory ops that
+    #: dual-issue with another memory op.
+    OVERLAP = 0.10
+    #: per-stage software overhead (loop control, pointer swaps)
+    STAGE_OVERHEAD = 9
+    FIXED_OVERHEAD = 45
+
+    def __init__(self, n_points: int, cache_config: CacheConfig = None):
+        self.n_points = n_points
+        self.stages = bit_width_of(n_points)
+        # Same 32 KB D-cache as the base PISA configuration.
+        self.cache_config = cache_config or CacheConfig()
+
+    def wide_loads(self) -> int:
+        """2-point data loads plus the per-stage twiddle stream."""
+        data = self.stages * self.n_points // 2
+        twiddles = sum(
+            max((1 << (j - 1)) // 2, 1) for j in range(1, self.stages + 1)
+        )
+        return data + twiddles
+
+    def wide_stores(self) -> int:
+        """2-point data stores plus the spilled loop state per stage."""
+        data = self.stages * self.n_points // 2
+        spills = self.stages * max(self.n_points // 64, 1)
+        return data + spills
+
+    def cycle_count(self) -> int:
+        """Memory-bound cycle model with modest load/store overlap."""
+        mem_ops = self.wide_loads() + self.wide_stores()
+        issue = int(round(mem_ops * (1.0 - self.OVERLAP)))
+        return issue + self.stages * self.STAGE_OVERHEAD + self.FIXED_OVERHEAD
+
+    def simulate(self) -> SimStats:
+        """Produce the Table II row: cycles, loads, stores, misses.
+
+        Misses come from replaying the blocked (in-place, packed-point)
+        access pattern through the 32 KB cache: the working set fits, so
+        the count sits at the compulsory-miss footprint — matching the
+        paper's small Xtensa miss count.
+        """
+        stats = SimStats()
+        stats.loads = self.wide_loads()
+        stats.stores = self.wide_stores()
+        stats.cycles = self.cycle_count()
+        stats.instructions = stats.loads + stats.stores + 14 * self.stages
+        cache = DataCache(self.cache_config)
+        n = self.n_points
+        for _ in range(self.stages):
+            for point in range(0, n, 2):
+                cache.access(point, is_write=False)
+                cache.access(point, is_write=True)
+        # Twiddle table footprint (packed, N/2 points).
+        for point in range(0, n // 2, 2):
+            cache.access(2 * n + point, is_write=False)
+        stats.dcache_misses = cache.misses
+        stats.dcache_hits = cache.hits
+        return stats

@@ -1,0 +1,153 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+Usage::
+
+    python -m repro table1              # Table I throughput sweep
+    python -m repro table2 [--size N]   # Table II four-way comparison
+    python -m repro hw [--group-size P] # Section IV hardware cost
+    python -m repro fft --size N        # one verified ASIP simulation
+    python -m repro listing --size N    # the generated program listing
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from .analysis import (
+    PAPER_TABLE1,
+    format_ratio,
+    render_table,
+    size_sweep,
+    table1_rows,
+)
+from .asip import generate_fft_program, simulate_fft
+from .baselines import PAPER_TABLE2, run_table2
+from .hw import hardware_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DATE'09 array-FFT ASIP reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I throughput sweep")
+
+    t2 = sub.add_parser("table2", help="Table II four-way comparison")
+    t2.add_argument("--size", type=int, default=1024)
+
+    hw = sub.add_parser("hw", help="Section IV hardware cost report")
+    hw.add_argument("--group-size", type=int, default=32)
+
+    fft = sub.add_parser("fft", help="simulate one FFT on the ASIP")
+    fft.add_argument("--size", type=int, default=1024)
+    fft.add_argument("--fixed-point", action="store_true")
+    fft.add_argument("--seed", type=int, default=0)
+
+    listing = sub.add_parser("listing", help="show the generated program")
+    listing.add_argument("--size", type=int, default=64)
+
+    report = sub.add_parser(
+        "report", help="full Markdown reproduction report"
+    )
+    report.add_argument("--size", type=int, default=1024,
+                        help="Table II comparison size")
+    report.add_argument("--output", type=str, default="",
+                        help="write to a file instead of stdout")
+    return parser
+
+
+def _cmd_table1() -> str:
+    results = size_sweep(sorted(PAPER_TABLE1))
+    return render_table(
+        ["N", "cycles", "paper cycles", "Mbps (6-bit)", "paper Mbps"],
+        table1_rows(results),
+        title="Table I — data throughput for different FFT sizes",
+    )
+
+
+def _cmd_table2(size: int) -> str:
+    rows = run_table2(size)
+    ours = rows["proposed"]
+    body = []
+    for key in ("standard_sw", "ti_dsp", "xtensa", "proposed"):
+        row = rows[key]
+        paper = PAPER_TABLE2[key]["cycles"] if size == 1024 else "-"
+        body.append((
+            row.name, row.cycles, paper,
+            row.loads or "-", row.stores or "-", row.misses,
+            format_ratio(row.cycles / ours.cycles),
+        ))
+    return render_table(
+        ["implementation", "cycles", "paper", "loads", "stores",
+         "D$ misses", "X vs proposed"],
+        body,
+        title=f"Table II — {size}-point FFT comparison",
+    )
+
+
+def _cmd_hw(group_size: int) -> str:
+    report = hardware_report(group_size)
+    note = "" if group_size == 32 else " (paper column is the P=32 config)"
+    return render_table(
+        ["metric", "modelled", "paper"],
+        report.rows(),
+        title=f"Hardware cost, P = {group_size}{note}",
+    )
+
+
+def _cmd_fft(size: int, fixed_point: bool, seed: int) -> str:
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(size) + 1j * rng.standard_normal(size)
+    if fixed_point:
+        x *= 0.25
+    result = simulate_fft(x, fixed_point=fixed_point)
+    scale = 1.0 / size if fixed_point else 1.0
+    reference = np.fft.fft(x) * scale
+    error = float(np.max(np.abs(result.spectrum - reference)))
+    stats = result.stats
+    lines = [
+        f"N = {size}  ({'Q1.15' if fixed_point else 'float'} datapath)",
+        f"cycles = {stats.cycles}   instructions = {stats.instructions}",
+        f"loads = {stats.loads}  stores = {stats.stores}  "
+        f"D$ misses = {stats.dcache_misses}",
+        f"throughput = {result.throughput.msamples:.1f} Msample/s "
+        f"({result.throughput.mbps_paper_convention:.1f} Mbps, 6-bit conv.)",
+        f"max error vs numpy = {error:.2e}",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_listing(size: int) -> str:
+    return generate_fft_program(size).listing()
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(_cmd_table1())
+    elif args.command == "table2":
+        print(_cmd_table2(args.size))
+    elif args.command == "hw":
+        print(_cmd_hw(args.group_size))
+    elif args.command == "fft":
+        print(_cmd_fft(args.size, args.fixed_point, args.seed))
+    elif args.command == "listing":
+        print(_cmd_listing(args.size))
+    elif args.command == "report":
+        from .analysis.report import build_report
+
+        text = build_report(table2_size=args.size)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+    return 0

@@ -1,0 +1,28 @@
+"""The paper's core contribution: the scalable array-structured FFT."""
+
+from .array_fft import ArrayFFT, array_fft
+from .butterfly import BUOperands, ButterflyUnit, radix2_butterfly
+from .interleaved import InterleavedArrayFFT
+from .fixed_point import FixedComplex, FixedPointContext, quantize, snr_db
+from .plan import ArrayFFTPlan, EpochPlan, StagePlan, build_plan
+from .schedule import BUOp, horizontal_schedule, interleaved_schedule
+
+__all__ = [
+    "ArrayFFT",
+    "array_fft",
+    "InterleavedArrayFFT",
+    "ButterflyUnit",
+    "BUOperands",
+    "radix2_butterfly",
+    "FixedPointContext",
+    "FixedComplex",
+    "quantize",
+    "snr_db",
+    "ArrayFFTPlan",
+    "EpochPlan",
+    "StagePlan",
+    "build_plan",
+    "BUOp",
+    "horizontal_schedule",
+    "interleaved_schedule",
+]

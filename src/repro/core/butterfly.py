@@ -1,0 +1,109 @@
+"""Butterfly Unit (BU): four parallel radix-2 butterflies over 8 points.
+
+The BU is the paper's fixed compute module (Fig. 2 / Fig. 4): every stage
+of every group FFT is executed as repeated applications of this one unit.
+Operationally a stage over a ``2**p``-entry column applies the *half-split*
+pairing — butterfly ``m`` combines column positions ``m`` and ``m + P/2``
+with the twiddle applied to the second input (DIT style):
+
+    out[m]        = col[m] + W * col[m + P/2]
+    out[m + P/2]  = col[m] - W * col[m + P/2]
+
+One hardware BU op covers four consecutive butterflies (module ``i`` covers
+flat butterflies ``4(i-1) .. 4i-1``), i.e. 8 data points per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["radix2_butterfly", "ButterflyUnit", "BUOperands"]
+
+
+def radix2_butterfly(a: complex, b: complex, w: complex) -> tuple:
+    """Single radix-2 DIT butterfly: returns ``(a + w*b, a - w*b)``."""
+    t = w * b
+    return a + t, a - t
+
+
+@dataclass(frozen=True)
+class BUOperands:
+    """The 8 input values and 4 coefficients consumed by one BU op."""
+
+    first: tuple   # 4 values at column positions m .. m+3
+    second: tuple  # 4 values at column positions m + P/2 .. m+3 + P/2
+    coefficients: tuple  # 4 twiddles from the ROM
+
+    def __post_init__(self):
+        if not (len(self.first) == len(self.second) == len(self.coefficients)):
+            raise ValueError("BU operands must have matching lane counts")
+        if len(self.first) > 4:
+            raise ValueError("a BU has at most 4 butterfly lanes")
+
+
+class ButterflyUnit:
+    """The vectorised 4-butterfly functional unit.
+
+    ``arithmetic`` selects the datapath: the default complex-float model,
+    or a :class:`repro.core.fixed_point.FixedPointContext` for the Q1.15
+    hardware datapath.  The unit counts its invocations so the simulator
+    and the hardware-cost model can report utilisation.
+    """
+
+    LANES = 4
+    POINTS = 8
+
+    def __init__(self, arithmetic=None):
+        self.arithmetic = arithmetic
+        self.op_count = 0
+
+    def reset_stats(self) -> None:
+        """Clear the operation counter."""
+        self.op_count = 0
+
+    def execute(self, operands: BUOperands) -> tuple:
+        """Run up to 4 butterflies; returns (sums, differences) tuples."""
+        self.op_count += 1
+        sums, diffs = [], []
+        for a, b, w in zip(
+            operands.first, operands.second, operands.coefficients
+        ):
+            if self.arithmetic is None:
+                s, d = radix2_butterfly(a, b, w)
+            else:
+                s, d = self.arithmetic.butterfly(a, b, w)
+            sums.append(s)
+            diffs.append(d)
+        return tuple(sums), tuple(diffs)
+
+    def execute_column(self, column: np.ndarray, coefficients) -> np.ndarray:
+        """Apply a whole stage to a column using repeated BU ops.
+
+        ``column`` has ``P`` entries (P may be smaller than 8 for tiny
+        groups); ``coefficients[m]`` is the twiddle of flat butterfly
+        ``m``.  Returns the output column; the caller handles storage.
+        """
+        size = len(column)
+        half = size // 2
+        if len(coefficients) != half:
+            raise ValueError(
+                f"need {half} coefficients for a {size}-entry column, "
+                f"got {len(coefficients)}"
+            )
+        out = np.empty(size, dtype=column.dtype)
+        for base in range(0, half, self.LANES):
+            lanes = min(self.LANES, half - base)
+            ops = BUOperands(
+                first=tuple(column[base + k] for k in range(lanes)),
+                second=tuple(column[base + half + k] for k in range(lanes)),
+                coefficients=tuple(
+                    coefficients[base + k] for k in range(lanes)
+                ),
+            )
+            sums, diffs = self.execute(ops)
+            for k in range(lanes):
+                out[base + k] = sums[k]
+                out[base + half + k] = diffs[k]
+        return out

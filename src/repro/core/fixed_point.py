@@ -1,0 +1,145 @@
+"""Q1.15 complex fixed-point arithmetic — the hardware datapath model.
+
+The paper's BU is synthesised hardware; its datapath is fixed point (the
+64-bit bus moves two complex points of 2 x 16 bits).  This module models a
+Q1.15 datapath with round-to-nearest and saturation so the reproduction
+can report the numerical behaviour (SNR vs float) of the hardware, not
+just the algorithmic correctness.
+
+The representation keeps values as integers in ``[-2**15, 2**15 - 1]``
+scaled by ``2**-15``.  A per-stage scale-by-half option models the usual
+FFT growth management (dividing butterfly outputs by 2 keeps the word
+length fixed at the cost of a deterministic output scale of ``1/N``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointContext", "FixedComplex", "quantize", "snr_db"]
+
+_FRAC_BITS = 15
+_SCALE = 1 << _FRAC_BITS
+_MAX = _SCALE - 1
+_MIN = -_SCALE
+
+
+def _saturate(v: int) -> int:
+    return max(_MIN, min(_MAX, v))
+
+
+def _round_shift(v: int, bits: int) -> int:
+    """Arithmetic shift right with round-to-nearest (ties away from zero)."""
+    if bits <= 0:
+        return v << (-bits)
+    half = 1 << (bits - 1)
+    if v >= 0:
+        return (v + half) >> bits
+    return -((-v + half) >> bits)
+
+
+@dataclass(frozen=True)
+class FixedComplex:
+    """A complex value with Q1.15 integer real/imaginary parts."""
+
+    re: int
+    im: int
+
+    def to_complex(self) -> complex:
+        """Back-convert to float complex in [-1, 1)."""
+        return complex(self.re / _SCALE, self.im / _SCALE)
+
+    def to_words(self) -> tuple:
+        """The two 16-bit two's-complement memory words (re, im)."""
+        return self.re & 0xFFFF, self.im & 0xFFFF
+
+    @staticmethod
+    def from_words(re_word: int, im_word: int) -> "FixedComplex":
+        """Build from 16-bit two's-complement words."""
+        def signed(w):
+            w &= 0xFFFF
+            return w - 0x10000 if w & 0x8000 else w
+        return FixedComplex(signed(re_word), signed(im_word))
+
+
+def quantize(value: complex) -> FixedComplex:
+    """Quantise a float complex (|re|,|im| <= 1) to Q1.15 with saturation."""
+    re = _saturate(int(round(value.real * _SCALE)))
+    im = _saturate(int(round(value.imag * _SCALE)))
+    return FixedComplex(re, im)
+
+
+class FixedPointContext:
+    """Arithmetic context implementing the BU datapath in Q1.15.
+
+    Parameters
+    ----------
+    scale_stages:
+        When True (default), each butterfly halves its outputs, matching
+        the standard hardware policy of one guard shift per stage; the
+        final spectrum is then ``FFT(x) / N`` exactly in the absence of
+        rounding.
+    """
+
+    def __init__(self, scale_stages: bool = True):
+        self.scale_stages = scale_stages
+        self.overflow_count = 0
+
+    def multiply(self, x: FixedComplex, w: FixedComplex) -> FixedComplex:
+        """Complex multiply with 30->15 bit rounding per component."""
+        rr = x.re * w.re - x.im * w.im
+        ii = x.re * w.im + x.im * w.re
+        return FixedComplex(
+            self._narrow(_round_shift(rr, _FRAC_BITS)),
+            self._narrow(_round_shift(ii, _FRAC_BITS)),
+        )
+
+    def add(self, x: FixedComplex, y: FixedComplex) -> FixedComplex:
+        """Saturating add, optionally pre-scaled by 1/2."""
+        return self._combine(x.re + y.re, x.im + y.im)
+
+    def sub(self, x: FixedComplex, y: FixedComplex) -> FixedComplex:
+        """Saturating subtract, optionally pre-scaled by 1/2."""
+        return self._combine(x.re - y.re, x.im - y.im)
+
+    def butterfly(self, a: FixedComplex, b: FixedComplex,
+                  w: FixedComplex) -> tuple:
+        """Radix-2 butterfly on fixed-point operands."""
+        t = self.multiply(b, w)
+        return self.add(a, t), self.sub(a, t)
+
+    def _combine(self, re: int, im: int) -> FixedComplex:
+        if self.scale_stages:
+            re = _round_shift(re, 1)
+            im = _round_shift(im, 1)
+        return FixedComplex(self._narrow(re), self._narrow(im))
+
+    def _narrow(self, v: int) -> int:
+        if v > _MAX or v < _MIN:
+            self.overflow_count += 1
+        return _saturate(v)
+
+    # Vector helpers -----------------------------------------------------
+
+    def quantize_vector(self, x) -> list:
+        """Quantise a complex vector to a list of :class:`FixedComplex`."""
+        return [quantize(complex(v)) for v in np.asarray(x, dtype=complex)]
+
+    def to_complex_vector(self, values) -> np.ndarray:
+        """Convert :class:`FixedComplex` values back to a numpy vector."""
+        return np.array([v.to_complex() for v in values], dtype=complex)
+
+
+def snr_db(reference, measured) -> float:
+    """Signal-to-noise ratio (dB) of ``measured`` against ``reference``."""
+    reference = np.asarray(reference, dtype=complex)
+    measured = np.asarray(measured, dtype=complex)
+    noise = np.sum(np.abs(reference - measured) ** 2)
+    signal = np.sum(np.abs(reference) ** 2)
+    if noise == 0:
+        return float("inf")
+    if signal == 0:
+        return float("-inf")
+    return float(10.0 * np.log10(signal / noise))

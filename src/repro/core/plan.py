@@ -1,0 +1,145 @@
+"""Execution plan for an N-point array FFT.
+
+A plan captures everything that is static for a given FFT size: the epoch
+split, per-stage CRF read-address sequences, per-stage ROM coefficient
+indices, the BU op schedule, and the memory address maps of the epoch
+boundaries.  The ASIP decoder's AC logic is exactly a hardware realisation
+of these tables; building them once per size mirrors how the real decoder
+derives them combinationally from (stage, module) operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..addressing.bitops import bit_width_of
+from ..addressing.coefficients import rom_coefficient_index
+from ..addressing.epoch import EpochSplit, split_epochs
+from ..addressing.local import stage_input_addresses
+
+__all__ = ["StagePlan", "EpochPlan", "ArrayFFTPlan", "build_plan"]
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """Static tables for one stage of a group FFT.
+
+    Attributes
+    ----------
+    stage:
+        1-origin stage index within the epoch.
+    read_addresses:
+        CRF address ``read_addresses[r]`` feeding column position ``r``
+        (the accumulated local switches, L rule).
+    coefficient_indices:
+        ROM address of flat butterfly ``m``, ``m = 0 .. size/2 - 1``.
+    modules:
+        Number of BUT4 ops needed for the stage (``max(size/8, 1)``).
+    """
+
+    stage: int
+    read_addresses: tuple
+    coefficient_indices: tuple
+    modules: int
+
+
+@dataclass(frozen=True)
+class EpochPlan:
+    """Static tables for one epoch: group size/count plus stage plans."""
+
+    epoch: int
+    group_size: int
+    group_count: int
+    stages: tuple
+
+    @property
+    def stage_count(self) -> int:
+        """Number of butterfly stages per group in this epoch."""
+        return len(self.stages)
+
+    @property
+    def but4_per_group(self) -> int:
+        """BUT4 instruction count for one group of this epoch."""
+        return sum(s.modules for s in self.stages)
+
+
+@dataclass(frozen=True)
+class ArrayFFTPlan:
+    """Complete static description of an N-point array FFT run."""
+
+    split: EpochSplit
+    epochs: tuple
+    crf_entries: int = field(default=0)
+
+    @property
+    def n_points(self) -> int:
+        """Total FFT size N."""
+        return self.split.N
+
+    @property
+    def total_but4(self) -> int:
+        """Total BUT4 ops across both epochs (all groups, all stages)."""
+        return sum(e.group_count * e.but4_per_group for e in self.epochs)
+
+    @property
+    def total_ldin(self) -> int:
+        """Total LDIN ops (two points per op over the 64-bit bus)."""
+        return sum(
+            e.group_count * max(e.group_size // 2, 1) for e in self.epochs
+        )
+
+    @property
+    def total_stout(self) -> int:
+        """Total STOUT ops (two points per op)."""
+        return self.total_ldin
+
+    @property
+    def prerotation_ops(self) -> int:
+        """Pre-rotation multiply ops at the end of epoch 0 (one per point
+        of each epoch-0 group, two points per cycle on the 64-bit path)."""
+        epoch0 = self.epochs[0]
+        return epoch0.group_count * max(epoch0.group_size // 2, 1)
+
+
+def _build_epoch(epoch: int, group_size: int, group_count: int) -> EpochPlan:
+    p = bit_width_of(group_size)
+    stages = []
+    for stage in range(1, p + 1):
+        reads = tuple(stage_input_addresses(p, stage))
+        coeffs = tuple(
+            rom_coefficient_index(group_size, stage, m)
+            for m in range(group_size // 2)
+        )
+        stages.append(
+            StagePlan(
+                stage=stage,
+                read_addresses=reads,
+                coefficient_indices=coeffs,
+                modules=max(group_size // 8, 1),
+            )
+        )
+    return EpochPlan(
+        epoch=epoch,
+        group_size=group_size,
+        group_count=group_count,
+        stages=tuple(stages),
+    )
+
+
+def build_plan(n_points: int, split: EpochSplit = None) -> ArrayFFTPlan:
+    """Build the static plan for an ``n_points`` array FFT.
+
+    The CRF must hold one group of the larger epoch, i.e. ``P`` entries —
+    the paper's "P-entry CRF".
+    """
+    if split is None:
+        split = split_epochs(n_points)
+    if split.N != n_points:
+        raise ValueError(
+            f"split is for N={split.N}, expected N={n_points}"
+        )
+    epochs = (
+        _build_epoch(0, split.P, split.Q),
+        _build_epoch(1, split.Q, split.P),
+    )
+    return ArrayFFTPlan(split=split, epochs=epochs, crf_entries=split.P)

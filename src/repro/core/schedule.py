@@ -1,0 +1,73 @@
+"""BU operation scheduling (the array walk order of Fig. 1).
+
+The paper applies BU operations "in a horizontal order first (from Stage 1
+to Stage 2, and so on for the first group of data points), and then the
+vertical order (from the top group to the bottom group)": each group runs
+all of its stages to completion before the next group starts — which is
+what makes a single P-entry CRF sufficient.
+
+This module generates that schedule as an explicit sequence of operation
+descriptors so the ASIP code generator, the trace infrastructure, and the
+ablation benchmarks (e.g. interleaved-group variants) can all consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .plan import ArrayFFTPlan
+
+__all__ = ["BUOp", "horizontal_schedule", "interleaved_schedule"]
+
+
+@dataclass(frozen=True)
+class BUOp:
+    """One BUT4 operation: epoch / group / stage / module coordinates."""
+
+    epoch: int
+    group: int
+    stage: int   # 1-origin within the epoch
+    module: int  # 1-origin within the stage, 1 .. group_size/8
+
+
+def horizontal_schedule(plan: ArrayFFTPlan) -> Iterator[BUOp]:
+    """The paper's order: per group, stages left-to-right; groups top-down.
+
+    Yields every BUT4 of the whole N-point FFT in execution order.
+    """
+    for epoch_plan in plan.epochs:
+        for group in range(epoch_plan.group_count):
+            for stage_plan in epoch_plan.stages:
+                for module in range(1, stage_plan.modules + 1):
+                    yield BUOp(
+                        epoch=epoch_plan.epoch,
+                        group=group,
+                        stage=stage_plan.stage,
+                        module=module,
+                    )
+
+
+def interleaved_schedule(plan: ArrayFFTPlan, ways: int = 2) -> Iterator[BUOp]:
+    """Temporal-parallel variant (the paper's reference [14] ablation).
+
+    Interleaves ``ways`` groups stage-by-stage, modelling designs that hide
+    latency by alternating between independent groups.  Requires a CRF of
+    ``ways * P`` entries; the ablation benchmark uses this to quantify the
+    area/throughput trade-off the paper declined to take.
+    """
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    for epoch_plan in plan.epochs:
+        groups = list(range(epoch_plan.group_count))
+        for base in range(0, len(groups), ways):
+            bundle = groups[base:base + ways]
+            for stage_plan in epoch_plan.stages:
+                for group in bundle:
+                    for module in range(1, stage_plan.modules + 1):
+                        yield BUOp(
+                            epoch=epoch_plan.epoch,
+                            group=group,
+                            stage=stage_plan.stage,
+                            module=module,
+                        )

@@ -1,0 +1,28 @@
+"""Reference FFT algorithms and the cached-FFT epoch skeleton."""
+
+from .cached import cached_fft, prerotation_weights
+from .reference import (
+    dif_stage,
+    dit_stage,
+    fft_dif,
+    fft_dit,
+    ifft,
+    load_store_count,
+    naive_dft,
+)
+from .twiddle import bit_reversed_indices, twiddle, twiddles
+
+__all__ = [
+    "naive_dft",
+    "fft_dit",
+    "fft_dif",
+    "ifft",
+    "dit_stage",
+    "dif_stage",
+    "load_store_count",
+    "cached_fft",
+    "prerotation_weights",
+    "twiddles",
+    "twiddle",
+    "bit_reversed_indices",
+]

@@ -1,0 +1,41 @@
+"""Twiddle-factor generation shared by all FFT implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..addressing.bitops import bit_width_of
+
+__all__ = ["twiddles", "twiddle", "bit_reversed_indices"]
+
+
+def twiddles(n_points: int, count: int = None) -> np.ndarray:
+    """Forward twiddles ``W_N^k = exp(-2 pi j k / N)`` for k = 0..count-1.
+
+    ``count`` defaults to ``N/2``, the set used by a radix-2 FFT.
+    """
+    bit_width_of(n_points)
+    if count is None:
+        count = n_points // 2
+    k = np.arange(count)
+    return np.exp(-2j * np.pi * k / n_points)
+
+
+def twiddle(n_points: int, exponent: int) -> complex:
+    """Single forward twiddle ``W_N^exponent`` (exponent reduced mod N)."""
+    bit_width_of(n_points)
+    return complex(np.exp(-2j * np.pi * (exponent % n_points) / n_points))
+
+
+def bit_reversed_indices(n_points: int) -> np.ndarray:
+    """Index vector ``r`` with ``r[k]`` = bit-reverse of ``k``."""
+    width = bit_width_of(n_points)
+    out = np.zeros(n_points, dtype=np.int64)
+    for k in range(n_points):
+        v = k
+        r = 0
+        for _ in range(width):
+            r = (r << 1) | (v & 1)
+            v >>= 1
+        out[k] = r
+    return out

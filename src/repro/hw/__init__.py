@@ -1,0 +1,23 @@
+"""Hardware cost models: gate count, power, critical path."""
+
+from .area import AreaBreakdown, AreaModel, TechnologyConstants
+from .energy import EnergyReport, energy_per_fft_nj
+from .power import PowerBreakdown, PowerConstants, PowerModel
+from .report import PAPER_HW, HardwareReport, hardware_report
+from .timing import DelayConstants, TimingModel
+
+__all__ = [
+    "AreaModel",
+    "AreaBreakdown",
+    "TechnologyConstants",
+    "PowerModel",
+    "PowerBreakdown",
+    "PowerConstants",
+    "TimingModel",
+    "DelayConstants",
+    "HardwareReport",
+    "hardware_report",
+    "PAPER_HW",
+    "EnergyReport",
+    "energy_per_fft_nj",
+]

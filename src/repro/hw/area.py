@@ -1,0 +1,134 @@
+"""Gate-count model of the custom hardware (paper Section IV).
+
+The paper synthesised VHDL with Synopsys Design Compiler on TSMC 0.18 um
+and reports, for the P = 32 (1024-point) configuration:
+
+* BU + AC logic:          17,324 gates
+* CRF + coefficient ROM:  15,764 gates
+* base PISA core:        ~106,000 gates (including a 32 KB cache)
+
+We cannot run Design Compiler; instead this is a component-level
+NAND2-equivalent model whose two free technology constants (multiplier and
+adder gate counts) are calibrated so the P = 32 configuration reproduces
+the published totals within ~1%.  Everything else (complex-multiply
+structure, register/ROM bit costs, AC mux tree) is structural, so the
+model *extrapolates* to other P — which is what the scalability ablation
+benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..addressing.bitops import bit_width_of
+
+__all__ = ["TechnologyConstants", "AreaModel", "AreaBreakdown"]
+
+
+@dataclass(frozen=True)
+class TechnologyConstants:
+    """NAND2-equivalent gate counts of the leaf components (0.18 um).
+
+    Calibrated against the paper's module totals; see module docstring.
+    """
+
+    mult16_gates: int = 1060     # 16x16 Booth multiplier
+    add16_gates: int = 100       # 16-bit carry-lookahead adder
+    register_bit_gates: float = 6.5   # flop + input mux + read mux share
+    rom_bit_gates: float = 4.8   # synthesised coefficient table
+    mux_bit_gates: float = 2.0   # 2:1 mux per bit
+    counter_bit_gates: float = 8.0
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-module gate counts."""
+
+    butterfly_unit: int
+    ac_logic: int
+    crf: int
+    rom: int
+
+    @property
+    def bu_ac(self) -> int:
+        """The paper's "BU and AC modules" aggregate."""
+        return self.butterfly_unit + self.ac_logic
+
+    @property
+    def crf_rom(self) -> int:
+        """The paper's "CRF and coefficient ROM" aggregate."""
+        return self.crf + self.rom
+
+    @property
+    def total(self) -> int:
+        """Total custom-hardware gates."""
+        return self.bu_ac + self.crf_rom
+
+
+class AreaModel:
+    """Structural gate-count model parameterised by the group size P."""
+
+    #: the paper's base core for context (106K gates with 32 KB cache)
+    BASE_CORE_GATES = 106_000
+    WORD_BITS = 32  # packed complex point: 16-bit re + 16-bit im
+
+    def __init__(self, group_size: int = 32,
+                 tech: TechnologyConstants = None, bu_lanes: int = 4):
+        bit_width_of(group_size)
+        self.group_size = group_size
+        self.tech = tech or TechnologyConstants()
+        self.bu_lanes = bu_lanes
+
+    def butterfly_gates(self) -> int:
+        """One radix-2 butterfly: 3-multiplier complex product + combine.
+
+        ``(a + jb)(c + jd)`` via Karatsuba: 3 multiplies, 5 adds; then 4
+        adds/subtracts form the sum and difference outputs.
+        """
+        t = self.tech
+        complex_mult = 3 * t.mult16_gates + 5 * t.add16_gates
+        combine = 4 * t.add16_gates
+        return complex_mult + combine
+
+    def bu_gates(self) -> int:
+        """The 4-lane (8-point) Basic Unit."""
+        return self.bu_lanes * self.butterfly_gates()
+
+    def ac_gates(self) -> int:
+        """Address-changing logic: switch network + stage/module decode.
+
+        Per stage-selectable bit switch: a 2:1 mux layer across the
+        2*log2(P)-bit address pairs of 8 read ports; plus the coefficient
+        stride shifter and two small counters.
+        """
+        t = self.tech
+        p = bit_width_of(self.group_size)
+        read_port_muxes = 8 * p * p * t.mux_bit_gates
+        coefficient_logic = p * 16 * t.mux_bit_gates
+        counters = 2 * 8 * t.counter_bit_gates
+        control = 300
+        return int(read_port_muxes + coefficient_logic + counters + control)
+
+    def crf_gates(self) -> int:
+        """Double-banked P-entry register file of packed complex words."""
+        bits = 2 * self.group_size * self.WORD_BITS
+        return int(bits * self.tech.register_bit_gates)
+
+    def rom_gates(self) -> int:
+        """P/2-entry coefficient ROM."""
+        bits = (self.group_size // 2) * self.WORD_BITS
+        return int(bits * self.tech.rom_bit_gates)
+
+    def breakdown(self) -> AreaBreakdown:
+        """Full per-module gate counts."""
+        return AreaBreakdown(
+            butterfly_unit=self.bu_gates(),
+            ac_logic=self.ac_gates(),
+            crf=self.crf_gates(),
+            rom=self.rom_gates(),
+        )
+
+    def overhead_fraction(self) -> float:
+        """Custom hardware as a fraction of the base core (paper: ~31%,
+        described as 'negligible'/'acceptable' accelerator cost)."""
+        return self.breakdown().total / self.BASE_CORE_GATES

@@ -1,0 +1,66 @@
+"""One-call hardware cost report (the Section IV paragraph as data)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .area import AreaBreakdown, AreaModel
+from .power import PowerBreakdown, PowerModel
+from .timing import TimingModel
+
+__all__ = ["HardwareReport", "hardware_report", "PAPER_HW"]
+
+#: the paper's published hardware numbers (P = 32 configuration)
+PAPER_HW = {
+    "bu_ac_gates": 17_324,
+    "crf_rom_gates": 15_764,
+    "total_gates": 33_000,
+    "base_core_gates": 106_000,
+    "bu_critical_path_ns": 3.2,
+    "clock_mhz": 300.0,
+    "bu_ac_power_mw": 17.68,
+}
+
+
+@dataclass(frozen=True)
+class HardwareReport:
+    """Area, power and timing of one custom-hardware configuration."""
+
+    group_size: int
+    area: AreaBreakdown
+    power: PowerBreakdown
+    bu_critical_path_ns: float
+    max_clock_mhz: float
+    overhead_fraction: float
+
+    def rows(self) -> list:
+        """(metric, modelled, paper) triples for table rendering."""
+        return [
+            ("BU + AC gates", self.area.bu_ac, PAPER_HW["bu_ac_gates"]),
+            ("CRF + ROM gates", self.area.crf_rom,
+             PAPER_HW["crf_rom_gates"]),
+            ("Total custom gates", self.area.total,
+             PAPER_HW["total_gates"]),
+            ("BU critical path (ns)", round(self.bu_critical_path_ns, 2),
+             PAPER_HW["bu_critical_path_ns"]),
+            ("Max clock (MHz)", round(self.max_clock_mhz),
+             PAPER_HW["clock_mhz"]),
+            ("BU + AC power (mW)", round(self.power.bu_ac, 2),
+             PAPER_HW["bu_ac_power_mw"]),
+        ]
+
+
+def hardware_report(group_size: int = 32,
+                    clock_mhz: float = 300.0) -> HardwareReport:
+    """Build the full hardware cost report for one configuration."""
+    area_model = AreaModel(group_size)
+    timing = TimingModel(group_size)
+    power = PowerModel(area_model, clock_mhz=clock_mhz)
+    return HardwareReport(
+        group_size=group_size,
+        area=area_model.breakdown(),
+        power=power.breakdown(),
+        bu_critical_path_ns=timing.bu_critical_path_ns(),
+        max_clock_mhz=timing.max_clock_mhz(),
+        overhead_fraction=area_model.overhead_fraction(),
+    )

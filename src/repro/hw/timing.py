@@ -1,0 +1,57 @@
+"""Critical-path / clock-frequency model (paper Section IV).
+
+The paper reports a 3.2 ns BU critical path on TSMC 0.18 um ("the
+processor can work at a clock speed of up to 300 MHz") and a negligible
+AC path.  The BU path is structural: one 16-bit multiply, two adder
+levels (complex-product combine, then butterfly add/sub), and the output
+mux; the leaf delays are the calibrated technology constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..addressing.bitops import bit_width_of
+
+__all__ = ["DelayConstants", "TimingModel"]
+
+
+@dataclass(frozen=True)
+class DelayConstants:
+    """Leaf-component delays in ns (TSMC 0.18 um class)."""
+
+    mult16_ns: float = 2.2
+    add16_ns: float = 0.4
+    mux_ns: float = 0.2
+    register_setup_ns: float = 0.15
+    switch_level_ns: float = 0.12  # one AC mux level
+
+
+class TimingModel:
+    """Critical-path estimates for the custom modules."""
+
+    def __init__(self, group_size: int = 32, delays: DelayConstants = None):
+        bit_width_of(group_size)
+        self.group_size = group_size
+        self.delays = delays or DelayConstants()
+
+    def bu_critical_path_ns(self) -> float:
+        """Multiplier -> two adder levels -> output mux (paper: 3.2 ns)."""
+        d = self.delays
+        return d.mult16_ns + 2 * d.add16_ns + d.mux_ns
+
+    def ac_critical_path_ns(self) -> float:
+        """The AC switch tree: log2(P) mux levels (paper: negligible)."""
+        levels = bit_width_of(self.group_size)
+        return levels * self.delays.switch_level_ns
+
+    def critical_path_ns(self) -> float:
+        """Clock-limiting path across the custom hardware."""
+        return max(
+            self.bu_critical_path_ns(),
+            self.ac_critical_path_ns() + self.delays.register_setup_ns,
+        )
+
+    def max_clock_mhz(self) -> float:
+        """Maximum clock implied by the critical path."""
+        return 1000.0 / self.critical_path_ns()

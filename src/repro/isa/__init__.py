@@ -1,0 +1,35 @@
+"""PISA-like instruction set with the three FFT-specific custom ops."""
+
+from .assembler import AssemblyError, assemble
+from .disassembler import disassemble, disassemble_word
+from .encoding import decode, encode, encode_program
+from .instructions import (
+    BRANCH_OPCODES,
+    CUSTOM_OPCODES,
+    MEMORY_OPCODES,
+    Format,
+    Instruction,
+    Opcode,
+)
+from .program import Program, ProgramBuilder
+from .registers import name_to_number, number_to_name
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "Format",
+    "CUSTOM_OPCODES",
+    "MEMORY_OPCODES",
+    "BRANCH_OPCODES",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "AssemblyError",
+    "encode",
+    "decode",
+    "encode_program",
+    "disassemble",
+    "disassemble_word",
+    "name_to_number",
+    "number_to_name",
+]

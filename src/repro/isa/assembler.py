@@ -1,0 +1,171 @@
+"""Text assembler for the FFT ASIP ISA.
+
+Accepts the syntax produced by :meth:`Instruction.__str__` plus the usual
+conveniences: labels (``name:``), comments (``# ...`` and ``; ...``),
+register aliases, ``li``/``move`` pseudo-instructions, and decimal or hex
+immediates.  Example::
+
+    # r1 = number of groups
+        li   r1, 8
+    loop:
+        but4 r2, r3
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+"""
+
+from __future__ import annotations
+
+from .instructions import BRANCH_OPCODES, Format, Instruction, Opcode
+from .program import Program, ProgramBuilder
+from .registers import name_to_number
+
+__all__ = ["assemble", "AssemblyError"]
+
+_OPCODES_BY_NAME = {op.value: op for op in Opcode}
+
+
+class AssemblyError(ValueError):
+    """Raised for syntax or semantic errors, with the line number."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(line_number, f"bad immediate {token!r}") from None
+
+
+def _reg(token: str, line_number: int) -> int:
+    try:
+        return name_to_number(token)
+    except ValueError as exc:
+        raise AssemblyError(line_number, str(exc)) from None
+
+
+def _split_operands(rest: str) -> list:
+    return [t.strip() for t in rest.split(",") if t.strip()]
+
+
+def assemble(source: str, name: str = "") -> Program:
+    """Assemble ``source`` text into a :class:`Program`."""
+    builder = ProgramBuilder(name)
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, line = line.split(":", 1)
+            if not label.strip():
+                raise AssemblyError(line_number, "empty label")
+            builder.label(label.strip())
+            line = line.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        operands = _split_operands(rest)
+        _assemble_one(builder, mnemonic, operands, line_number)
+    return builder.build()
+
+
+def _assemble_one(builder: ProgramBuilder, mnemonic: str, operands: list,
+                  line_number: int) -> None:
+    if mnemonic == "li":
+        if len(operands) != 2:
+            raise AssemblyError(line_number, "li needs rt, imm")
+        builder.li(_reg(operands[0], line_number),
+                   _parse_int(operands[1], line_number))
+        return
+    if mnemonic == "move":
+        if len(operands) != 2:
+            raise AssemblyError(line_number, "move needs rt, rs")
+        builder.move(_reg(operands[0], line_number),
+                     _reg(operands[1], line_number))
+        return
+    if mnemonic not in _OPCODES_BY_NAME:
+        raise AssemblyError(line_number, f"unknown mnemonic {mnemonic!r}")
+    opcode = _OPCODES_BY_NAME[mnemonic]
+    fmt = Instruction(opcode=opcode).format
+
+    if fmt is Format.NONE:
+        builder.emit(opcode)
+        return
+    if opcode is Opcode.JR:
+        builder.emit(opcode, rs=_reg(operands[0], line_number))
+        return
+    if fmt is Format.J:
+        if operands[0].lstrip("-").isdigit():
+            builder.emit(opcode, imm=_parse_int(operands[0], line_number))
+        else:
+            builder.branch(opcode, target=operands[0])
+        return
+    if opcode in (Opcode.LW, Opcode.SW):
+        # rt, imm(rs)
+        if len(operands) != 2 or "(" not in operands[1]:
+            raise AssemblyError(line_number, f"{mnemonic} needs rt, imm(rs)")
+        rt = _reg(operands[0], line_number)
+        imm_part, rs_part = operands[1].split("(", 1)
+        rs = _reg(rs_part.rstrip(") "), line_number)
+        imm = _parse_int(imm_part or "0", line_number)
+        builder.emit(opcode, rt=rt, rs=rs, imm=imm)
+        return
+    if opcode in BRANCH_OPCODES:
+        if len(operands) != 3:
+            raise AssemblyError(line_number, f"{mnemonic} needs rs, rt, target")
+        rs = _reg(operands[0], line_number)
+        rt = _reg(operands[1], line_number)
+        if operands[2].lstrip("-").isdigit():
+            builder.emit(opcode, rs=rs, rt=rt,
+                         imm=_parse_int(operands[2], line_number))
+        else:
+            builder.branch(opcode, rs=rs, rt=rt, target=operands[2])
+        return
+    if fmt is Format.R:
+        if opcode in (Opcode.BUT4, Opcode.LDIN) and len(operands) == 2:
+            # but4/ldin rs, rt — the natural two-operand spelling
+            builder.emit(
+                opcode,
+                rs=_reg(operands[0], line_number),
+                rt=_reg(operands[1], line_number),
+            )
+            return
+        if len(operands) != 3:
+            raise AssemblyError(line_number, f"{mnemonic} needs 3 operands")
+        builder.emit(
+            opcode,
+            rd=_reg(operands[0], line_number),
+            rs=_reg(operands[1], line_number),
+            rt=_reg(operands[2], line_number),
+        )
+        return
+    if opcode is Opcode.STOUT:
+        # stout rs, rt [, flag] — flag 1 selects the pre-rotating form
+        if len(operands) not in (2, 3):
+            raise AssemblyError(line_number, "stout needs rs, rt [, flag]")
+        flag = _parse_int(operands[2], line_number) if len(operands) == 3 else 0
+        builder.emit(
+            opcode,
+            rs=_reg(operands[0], line_number),
+            rt=_reg(operands[1], line_number),
+            imm=flag,
+        )
+        return
+    # I format ALU: rt, rs, imm  (shift/lui use subsets)
+    if opcode is Opcode.LUI:
+        builder.emit(opcode, rt=_reg(operands[0], line_number),
+                     imm=_parse_int(operands[1], line_number))
+        return
+    if len(operands) != 3:
+        raise AssemblyError(line_number, f"{mnemonic} needs rt, rs, imm")
+    builder.emit(
+        opcode,
+        rt=_reg(operands[0], line_number),
+        rs=_reg(operands[1], line_number),
+        imm=_parse_int(operands[2], line_number),
+    )

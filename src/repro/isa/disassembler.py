@@ -1,0 +1,28 @@
+"""Disassembler: binary words or Instruction objects back to text."""
+
+from __future__ import annotations
+
+from .encoding import decode
+from .instructions import Instruction
+
+__all__ = ["disassemble_word", "disassemble", "round_trip"]
+
+
+def disassemble_word(word: int, index: int = 0) -> str:
+    """Disassemble one encoded 32-bit word."""
+    return str(decode(word, index))
+
+
+def disassemble(words) -> str:
+    """Disassemble a sequence of encoded words into a listing."""
+    lines = []
+    for index, word in enumerate(words):
+        lines.append(f"{index:6d}: {word:08x}  {disassemble_word(word, index)}")
+    return "\n".join(lines)
+
+
+def round_trip(instr: Instruction, index: int = 0) -> Instruction:
+    """Encode then decode — used by the encoding tests."""
+    from .encoding import encode
+
+    return decode(encode(instr, index), index)

@@ -1,0 +1,160 @@
+"""Instruction set of the FFT ASIP: PISA-like RISC base + three custom ops.
+
+The base set is a compact MIPS/PISA-style load-store ISA — enough to write
+real programs (loops, address arithmetic, complex multiplies) so the
+simulated cycle counts reflect genuine software overheads, exactly as the
+paper measures on its modified SimpleScalar.
+
+The three application-specific instructions of Section III-B:
+
+* ``BUT4 rs, rt``   — one Basic-Unit op; ``rs`` holds the module number
+  (1-origin), ``rt`` the stage number.  All CRF/ROM addressing happens in
+  the decoder's AC logic.
+* ``LDIN rs, rt``   — load two complex points (64-bit bus) from memory
+  address ``rs`` into CRF entry ``rt``.
+* ``STOUT rs, rt``  — store two complex points from CRF entry ``rs`` to
+  memory address ``rt``; the immediate flag selects the epoch-0 variant
+  that applies the inter-epoch pre-rotation on the way out (the hardware
+  realisation of Algorithm 1's line 15).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Opcode", "Instruction", "Format", "OPCODE_FORMAT",
+           "CUSTOM_OPCODES", "MEMORY_OPCODES", "BRANCH_OPCODES"]
+
+
+class Format(enum.Enum):
+    """Encoding format families."""
+
+    R = "R"       # rd, rs, rt
+    I = "I"       # rt, rs, imm16
+    J = "J"       # target26
+    NONE = "NONE"  # no operands (nop, halt)
+
+
+class Opcode(enum.Enum):
+    """All opcodes understood by the machine."""
+
+    # Arithmetic / logic (R format unless *I)
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MULH = "mulh"     # high 32 bits of 32x32 multiply (fixed-point scaling)
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SLLV = "sllv"
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLTI = "slti"
+    LUI = "lui"
+    # Memory
+    LW = "lw"
+    SW = "sw"
+    # Control
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    NOP = "nop"
+    HALT = "halt"
+    # Application-specific (Section III-B)
+    BUT4 = "but4"
+    LDIN = "ldin"
+    STOUT = "stout"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+OPCODE_FORMAT = {
+    Opcode.ADD: Format.R, Opcode.SUB: Format.R, Opcode.MUL: Format.R,
+    Opcode.MULH: Format.R, Opcode.AND: Format.R, Opcode.OR: Format.R,
+    Opcode.XOR: Format.R, Opcode.SLT: Format.R, Opcode.SLLV: Format.R,
+    Opcode.SLL: Format.I, Opcode.SRL: Format.I, Opcode.SRA: Format.I,
+    Opcode.ADDI: Format.I, Opcode.ANDI: Format.I, Opcode.ORI: Format.I,
+    Opcode.XORI: Format.I, Opcode.SLTI: Format.I, Opcode.LUI: Format.I,
+    Opcode.LW: Format.I, Opcode.SW: Format.I,
+    Opcode.BEQ: Format.I, Opcode.BNE: Format.I,
+    Opcode.BLT: Format.I, Opcode.BGE: Format.I,
+    Opcode.J: Format.J, Opcode.JAL: Format.J, Opcode.JR: Format.R,
+    Opcode.NOP: Format.NONE, Opcode.HALT: Format.NONE,
+    Opcode.BUT4: Format.R, Opcode.LDIN: Format.R, Opcode.STOUT: Format.I,
+}
+
+CUSTOM_OPCODES = frozenset({Opcode.BUT4, Opcode.LDIN, Opcode.STOUT})
+MEMORY_OPCODES = frozenset({Opcode.LW, Opcode.SW})
+BRANCH_OPCODES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+     Opcode.J, Opcode.JAL, Opcode.JR}
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Fields unused by an opcode's format are zero.  ``imm`` is a signed
+    16-bit value for I-format and a 26-bit target for J-format; branch
+    immediates hold *instruction index* targets (the assembler resolves
+    labels to absolute indices, which a real encoder would re-encode as
+    PC-relative offsets — :mod:`repro.isa.encoding` does exactly that).
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0
+    label: str = ""
+
+    def __post_init__(self):
+        for field_name in ("rd", "rs", "rt"):
+            v = getattr(self, field_name)
+            if not (0 <= v < 32):
+                raise ValueError(
+                    f"{field_name}={v} out of register range in {self.opcode}"
+                )
+
+    @property
+    def format(self) -> Format:
+        """Encoding format of this instruction."""
+        return OPCODE_FORMAT[self.opcode]
+
+    @property
+    def is_custom(self) -> bool:
+        """True for BUT4 / LDIN / STOUT."""
+        return self.opcode in CUSTOM_OPCODES
+
+    def __str__(self) -> str:
+        op = self.opcode.value
+        fmt = self.format
+        if fmt is Format.NONE:
+            return op
+        if self.opcode is Opcode.JR:
+            return f"{op} r{self.rs}"
+        if fmt is Format.R:
+            return f"{op} r{self.rd}, r{self.rs}, r{self.rt}"
+        if fmt is Format.J:
+            return f"{op} {self.label or self.imm}"
+        if self.opcode in (Opcode.LW, Opcode.SW):
+            return f"{op} r{self.rt}, {self.imm}(r{self.rs})"
+        if self.opcode is Opcode.STOUT:
+            return f"{op} r{self.rs}, r{self.rt}, {self.imm}"
+        if self.opcode in BRANCH_OPCODES:
+            target = self.label or self.imm
+            return f"{op} r{self.rs}, r{self.rt}, {target}"
+        return f"{op} r{self.rt}, r{self.rs}, {self.imm}"

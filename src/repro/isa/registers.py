@@ -1,0 +1,51 @@
+"""Register file conventions of the PISA-like base core.
+
+32 general-purpose registers; ``r0`` is hard-wired to zero as in MIPS/PISA.
+Symbolic aliases follow the usual RISC convention and are accepted by the
+assembler alongside plain ``rN`` names.
+"""
+
+from __future__ import annotations
+
+__all__ = ["REGISTER_COUNT", "ZERO", "RA", "SP", "name_to_number",
+           "number_to_name", "ALIASES"]
+
+REGISTER_COUNT = 32
+ZERO = 0
+RA = 31
+SP = 29
+
+ALIASES = {
+    "zero": 0,
+    "at": 1,
+    "v0": 2, "v1": 3,
+    "a0": 4, "a1": 5, "a2": 6, "a3": 7,
+    "t0": 8, "t1": 9, "t2": 10, "t3": 11,
+    "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+    "s0": 16, "s1": 17, "s2": 18, "s3": 19,
+    "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "t8": 24, "t9": 25,
+    "k0": 26, "k1": 27,
+    "gp": 28, "sp": 29, "fp": 30, "ra": 31,
+}
+
+_NUMBER_TO_NAME = {v: k for k, v in ALIASES.items()}
+
+
+def name_to_number(name: str) -> int:
+    """Resolve a register name (``r7``, ``$7``, ``t0``) to its number."""
+    token = name.strip().lower().lstrip("$")
+    if token in ALIASES:
+        return ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        number = int(token[1:])
+        if 0 <= number < REGISTER_COUNT:
+            return number
+    raise ValueError(f"unknown register {name!r}")
+
+
+def number_to_name(number: int) -> str:
+    """Symbolic name of register ``number`` (alias form)."""
+    if not (0 <= number < REGISTER_COUNT):
+        raise ValueError(f"register number out of range: {number}")
+    return _NUMBER_TO_NAME[number]

@@ -1,0 +1,17 @@
+"""OFDM substrate: the communication chain the paper's intro motivates."""
+
+from .channel import MultipathChannel, awgn, ebn0_to_noise_sigma
+from .link import LinkResult, OfdmLink
+from .modulation import CONSTELLATIONS, Constellation, demodulate, modulate
+
+__all__ = [
+    "Constellation",
+    "CONSTELLATIONS",
+    "modulate",
+    "demodulate",
+    "awgn",
+    "ebn0_to_noise_sigma",
+    "MultipathChannel",
+    "OfdmLink",
+    "LinkResult",
+]

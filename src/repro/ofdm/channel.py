@@ -1,0 +1,73 @@
+"""Channel models for the OFDM substrate: AWGN and multipath fading."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["awgn", "MultipathChannel", "ebn0_to_noise_sigma"]
+
+
+def ebn0_to_noise_sigma(snr_db: float, signal_power: float = 1.0) -> float:
+    """Per-complex-sample noise sigma for a target SNR in dB."""
+    noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+    return float(np.sqrt(noise_power / 2.0))
+
+
+def awgn(signal, snr_db: float, rng=None) -> np.ndarray:
+    """Add complex white Gaussian noise at the given SNR.
+
+    SNR is measured against the empirical signal power, so the function
+    composes safely after IFFT scaling or channel gain.
+    """
+    signal = np.asarray(signal, dtype=complex)
+    rng = rng or np.random.default_rng()
+    power = float(np.mean(np.abs(signal) ** 2))
+    if power == 0:
+        return signal.copy()
+    sigma = ebn0_to_noise_sigma(snr_db, power)
+    noise = sigma * (
+        rng.standard_normal(len(signal))
+        + 1j * rng.standard_normal(len(signal))
+    )
+    return signal + noise
+
+
+class MultipathChannel:
+    """Static FIR multipath channel with known taps.
+
+    Applied circularly (as a cyclic-prefix OFDM system sees it), so the
+    per-subcarrier response is simply the tap DFT — which the receiver
+    uses for one-tap equalisation.
+    """
+
+    def __init__(self, taps):
+        self.taps = np.asarray(taps, dtype=complex)
+        if len(self.taps) == 0:
+            raise ValueError("channel needs at least one tap")
+
+    def apply(self, signal) -> np.ndarray:
+        """Circular convolution of ``signal`` with the channel taps."""
+        signal = np.asarray(signal, dtype=complex)
+        if len(self.taps) > len(signal):
+            raise ValueError("channel longer than the OFDM symbol")
+        padded = np.zeros(len(signal), dtype=complex)
+        padded[: len(self.taps)] = self.taps
+        return np.fft.ifft(np.fft.fft(signal) * np.fft.fft(padded))
+
+    def frequency_response(self, n_points: int) -> np.ndarray:
+        """Per-subcarrier complex gain for an ``n_points`` FFT."""
+        padded = np.zeros(n_points, dtype=complex)
+        padded[: len(self.taps)] = self.taps
+        return np.fft.fft(padded)
+
+    @staticmethod
+    def exponential_profile(n_taps: int, decay: float = 0.5,
+                            rng=None) -> "MultipathChannel":
+        """Random Rayleigh taps with exponentially decaying power."""
+        rng = rng or np.random.default_rng()
+        powers = decay ** np.arange(n_taps)
+        taps = np.sqrt(powers / 2) * (
+            rng.standard_normal(n_taps) + 1j * rng.standard_normal(n_taps)
+        )
+        taps /= np.linalg.norm(taps)
+        return MultipathChannel(taps)

@@ -1,0 +1,123 @@
+"""End-to-end OFDM link: transmitter, channel, ASIP-backed receiver.
+
+One :class:`OfdmLink` wires the substrate together: constellation mapping
+onto N subcarriers, IFFT (host side — the transmitter), a channel model,
+and a receiver whose FFT stage is either the algorithm-level
+:class:`repro.core.ArrayFFT` (fast) or the full instruction-level ASIP
+simulation (exact reproduction of the paper's datapath), followed by
+one-tap equalisation and demapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..asip.runner import simulate_fft
+from ..core.array_fft import ArrayFFT
+from .channel import MultipathChannel, awgn
+from .modulation import CONSTELLATIONS
+
+__all__ = ["LinkResult", "OfdmLink"]
+
+
+@dataclass
+class LinkResult:
+    """Outcome of one OFDM symbol through the link."""
+
+    tx_bits: np.ndarray
+    rx_bits: np.ndarray
+    equalised: np.ndarray
+    fft_cycles: int  # 0 when the algorithm-level engine was used
+
+    @property
+    def bit_errors(self) -> int:
+        """Number of bit errors in the symbol."""
+        return int(np.sum(self.tx_bits != self.rx_bits))
+
+    @property
+    def bit_error_rate(self) -> float:
+        """BER for the symbol."""
+        return self.bit_errors / len(self.tx_bits)
+
+    def evm_percent(self, reference) -> float:
+        """Error-vector magnitude of the equalised constellation."""
+        reference = np.asarray(reference, dtype=complex)
+        error = np.sqrt(np.mean(np.abs(self.equalised - reference) ** 2))
+        return float(100.0 * error)
+
+
+class OfdmLink:
+    """A single-symbol OFDM link with a pluggable FFT receiver stage."""
+
+    def __init__(self, n_subcarriers: int, scheme: str = "qpsk",
+                 channel: MultipathChannel = None, snr_db: float = 30.0,
+                 use_asip: bool = False, seed: int = 0):
+        if scheme not in CONSTELLATIONS:
+            raise ValueError(f"unknown scheme {scheme!r}")
+        self.n = n_subcarriers
+        self.constellation = CONSTELLATIONS[scheme]
+        self.channel = channel
+        self.snr_db = snr_db
+        self.use_asip = use_asip
+        self.rng = np.random.default_rng(seed)
+        self.engine = ArrayFFT(n_subcarriers)
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Payload bits carried by one OFDM symbol."""
+        return self.n * self.constellation.bits_per_symbol
+
+    def random_bits(self) -> np.ndarray:
+        """A payload's worth of random bits."""
+        return self.rng.integers(0, 2, size=self.bits_per_symbol)
+
+    def transmit(self, bits) -> tuple:
+        """Map and IFFT one symbol; returns (time_signal, subcarriers)."""
+        subcarriers = self.constellation.map_bits(np.asarray(bits))
+        time_signal = self.engine.inverse(subcarriers) * self.n
+        return time_signal, subcarriers
+
+    def receive(self, time_signal) -> tuple:
+        """FFT (ASIP or algorithm engine) + one-tap equalisation."""
+        if self.use_asip:
+            result = simulate_fft(np.asarray(time_signal, dtype=complex))
+            spectrum = result.spectrum
+            cycles = result.stats.cycles
+        else:
+            spectrum = self.engine.transform(time_signal)
+            cycles = 0
+        spectrum = spectrum / self.n
+        if self.channel is not None:
+            response = self.channel.frequency_response(self.n)
+            spectrum = spectrum / response
+        return spectrum, cycles
+
+    def run_symbol(self, bits=None) -> LinkResult:
+        """Push one OFDM symbol end to end."""
+        tx_bits = np.asarray(bits) if bits is not None else self.random_bits()
+        time_signal, _ = self.transmit(tx_bits)
+        if self.channel is not None:
+            time_signal = self.channel.apply(time_signal)
+        time_signal = awgn(time_signal, self.snr_db, rng=self.rng)
+        equalised, cycles = self.receive(time_signal)
+        rx_bits = self.constellation.unmap_symbols(equalised)
+        return LinkResult(
+            tx_bits=tx_bits,
+            rx_bits=rx_bits,
+            equalised=equalised,
+            fft_cycles=cycles,
+        )
+
+    def measure_ber(self, symbols: int = 10) -> float:
+        """Average BER over several independent symbols."""
+        if symbols < 1:
+            raise ValueError("need at least one symbol")
+        errors = 0
+        total = 0
+        for _ in range(symbols):
+            result = self.run_symbol()
+            errors += result.bit_errors
+            total += len(result.tx_bits)
+        return errors / total

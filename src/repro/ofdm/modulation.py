@@ -1,0 +1,90 @@
+"""Subcarrier constellation mapping for the OFDM substrate.
+
+The paper motivates the ASIP with OFDM systems (MB-UWB, WiMAX); this
+package provides the minimal transceiver around the FFT so the examples
+and system-level tests exercise the ASIP inside a realistic signal chain.
+Gray-coded BPSK/QPSK/16-QAM/64-QAM mappers with unit average power, plus
+hard-decision demappers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Constellation", "CONSTELLATIONS", "modulate", "demodulate"]
+
+
+def _gray_levels(bits_per_axis: int) -> np.ndarray:
+    """Gray-ordered odd-integer PAM levels for one I/Q axis."""
+    count = 1 << bits_per_axis
+    levels = np.arange(count)
+    gray = levels ^ (levels >> 1)
+    amplitude = 2 * levels - (count - 1)
+    out = np.empty(count)
+    out[gray] = amplitude
+    return out
+
+
+class Constellation:
+    """A square Gray-mapped QAM constellation with unit average power."""
+
+    def __init__(self, name: str, bits_per_symbol: int):
+        if bits_per_symbol < 1 or bits_per_symbol > 8:
+            raise ValueError("bits per symbol must be in [1, 8]")
+        self.name = name
+        self.bits_per_symbol = bits_per_symbol
+        if bits_per_symbol == 1:  # BPSK on the real axis
+            points = np.array([1.0 + 0j, -1.0 + 0j])
+        else:
+            if bits_per_symbol % 2:
+                raise ValueError(
+                    "square QAM needs an even number of bits per symbol"
+                )
+            per_axis = bits_per_symbol // 2
+            axis = _gray_levels(per_axis)
+            points = (
+                axis[:, None] + 1j * axis[None, :]
+            ).reshape(-1)
+            # index = (i_bits << per_axis) | q_bits
+        self.points = points / np.sqrt(np.mean(np.abs(points) ** 2))
+
+    def map_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Map a bit vector (length divisible by bits_per_symbol)."""
+        bits = np.asarray(bits, dtype=int)
+        if len(bits) % self.bits_per_symbol:
+            raise ValueError(
+                f"bit count {len(bits)} not divisible by "
+                f"{self.bits_per_symbol}"
+            )
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        return self.points[groups @ weights]
+
+    def unmap_symbols(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard-decision demap to the nearest constellation point."""
+        symbols = np.asarray(symbols, dtype=complex)
+        distances = np.abs(symbols[:, None] - self.points[None, :])
+        indices = np.argmin(distances, axis=1)
+        width = self.bits_per_symbol
+        bits = (
+            (indices[:, None] >> np.arange(width - 1, -1, -1)) & 1
+        )
+        return bits.reshape(-1)
+
+
+CONSTELLATIONS = {
+    "bpsk": Constellation("bpsk", 1),
+    "qpsk": Constellation("qpsk", 2),
+    "16qam": Constellation("16qam", 4),
+    "64qam": Constellation("64qam", 6),
+}
+
+
+def modulate(bits, scheme: str = "qpsk") -> np.ndarray:
+    """Map ``bits`` with the named constellation."""
+    return CONSTELLATIONS[scheme].map_bits(bits)
+
+
+def demodulate(symbols, scheme: str = "qpsk") -> np.ndarray:
+    """Hard-decision demap with the named constellation."""
+    return CONSTELLATIONS[scheme].unmap_symbols(symbols)

@@ -1,0 +1,32 @@
+"""Instruction-set simulator substrate (SimpleScalar-equivalent role)."""
+
+from .ac_logic import AddressChangingLogic, BUAddresses
+from .bu_unit import BUFunctionalUnit
+from .cache import CacheConfig, DataCache
+from .crf import CustomRegisterFile
+from .errors import RunawayProgram, SimulationError, UnsupportedInstruction
+from .machine import Machine
+from .memory import MainMemory
+from .pipeline import PipelineConfig
+from .rom import CoefficientROM
+from .stats import SimStats
+from .trace import ExecutionTrace, TraceEntry
+
+__all__ = [
+    "Machine",
+    "MainMemory",
+    "DataCache",
+    "CacheConfig",
+    "PipelineConfig",
+    "SimStats",
+    "CustomRegisterFile",
+    "CoefficientROM",
+    "AddressChangingLogic",
+    "BUAddresses",
+    "BUFunctionalUnit",
+    "ExecutionTrace",
+    "TraceEntry",
+    "SimulationError",
+    "UnsupportedInstruction",
+    "RunawayProgram",
+]

@@ -1,0 +1,103 @@
+"""Address-Changing (AC) logic — the decoder-side address generator.
+
+Section III's key architectural point: BUT4 carries only (module, stage)
+operands and *all* register-file and ROM addresses are produced by
+combinational logic in the decoder.  This module is that logic.  It is a
+thin, stateless wrapper over the addressing rules, organised exactly as
+the hardware consumes them: per BUT4 op, 8 CRF read addresses, 4 ROM
+addresses, and 8 CRF write addresses (natural positions of the ping-pong
+output column).
+
+The generator is sized by the epoch's group size at `configure` time —
+modelling the stage/epoch configuration registers the real decoder would
+latch from the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..addressing.bitops import bit_width_of
+from ..addressing.coefficients import rom_coefficient_index
+from ..addressing.local import stage_input_addresses
+
+__all__ = ["BUAddresses", "AddressChangingLogic"]
+
+
+@dataclass(frozen=True)
+class BUAddresses:
+    """All addresses for one BUT4(module, stage) operation."""
+
+    crf_reads_first: tuple    # 4 addresses of the sum-side inputs
+    crf_reads_second: tuple   # 4 addresses of the twiddled inputs
+    rom_addresses: tuple      # 4 coefficient addresses
+    crf_writes_first: tuple   # 4 output positions (sums)
+    crf_writes_second: tuple  # 4 output positions (differences)
+
+
+class AddressChangingLogic:
+    """Per-epoch configured AC address generator."""
+
+    LANES = 4
+
+    def __init__(self):
+        self._group_size = None
+        self._p = None
+        self._read_tables = {}
+
+    def configure(self, group_size: int) -> None:
+        """Latch the group size of the current epoch (P or Q)."""
+        self._p = bit_width_of(group_size)
+        self._group_size = group_size
+        self._read_tables = {
+            stage: stage_input_addresses(self._p, stage)
+            for stage in range(1, self._p + 1)
+        }
+
+    @property
+    def group_size(self) -> int:
+        """Currently configured group size."""
+        if self._group_size is None:
+            raise RuntimeError("AC logic not configured for an epoch yet")
+        return self._group_size
+
+    def modules_per_stage(self) -> int:
+        """Number of BUT4 ops per stage (``max(P/8, 1)``)."""
+        return max(self.group_size // 8, 1)
+
+    def lanes_for_module(self, module: int) -> int:
+        """Butterfly lanes used by ``module`` (4, or fewer for tiny groups)."""
+        half = self.group_size // 2
+        base = self.LANES * (module - 1)
+        return max(0, min(self.LANES, half - base))
+
+    def addresses(self, module: int, stage: int) -> BUAddresses:
+        """Generate every address consumed by ``BUT4(module, stage)``.
+
+        ``module`` and ``stage`` are 1-origin, as in the paper.
+        """
+        size = self.group_size
+        half = size // 2
+        if not (1 <= stage <= self._p):
+            raise ValueError(
+                f"stage must be in [1, {self._p}], got {stage}"
+            )
+        if not (1 <= module <= self.modules_per_stage()):
+            raise ValueError(
+                f"module must be in [1, {self.modules_per_stage()}], "
+                f"got {module}"
+            )
+        reads = self._read_tables[stage]
+        base = self.LANES * (module - 1)
+        lanes = self.lanes_for_module(module)
+        first_pos = tuple(base + k for k in range(lanes))
+        second_pos = tuple(base + half + k for k in range(lanes))
+        return BUAddresses(
+            crf_reads_first=tuple(reads[m] for m in first_pos),
+            crf_reads_second=tuple(reads[m] for m in second_pos),
+            rom_addresses=tuple(
+                rom_coefficient_index(size, stage, m) for m in first_pos
+            ),
+            crf_writes_first=first_pos,
+            crf_writes_second=second_pos,
+        )

@@ -1,0 +1,45 @@
+"""The BU functional unit as wired into the ASIP's EX stage.
+
+Wraps :class:`repro.core.butterfly.ButterflyUnit` with the CRF/ROM access
+pattern of one BUT4 operation: gather 8 operands at the AC-generated read
+addresses from the active CRF bank, compute 4 butterflies, scatter the
+outputs to the shadow bank at natural positions.
+"""
+
+from __future__ import annotations
+
+from ..core.butterfly import BUOperands, ButterflyUnit
+from .ac_logic import BUAddresses
+from .crf import CustomRegisterFile
+from .rom import CoefficientROM
+
+__all__ = ["BUFunctionalUnit"]
+
+
+class BUFunctionalUnit:
+    """Execution-stage wrapper: CRF/ROM in, CRF out."""
+
+    def __init__(self, arithmetic=None):
+        self.unit = ButterflyUnit(arithmetic=arithmetic)
+
+    @property
+    def op_count(self) -> int:
+        """Number of BUT4 operations executed."""
+        return self.unit.op_count
+
+    def execute(self, addresses: BUAddresses, crf: CustomRegisterFile,
+                rom: CoefficientROM, group_size: int) -> None:
+        """Run one BUT4 against the CRF and ROM."""
+        first = tuple(crf.read(a) for a in addresses.crf_reads_first)
+        second = tuple(crf.read(a) for a in addresses.crf_reads_second)
+        coefficients = tuple(
+            rom.read_for_size(a, group_size)
+            for a in addresses.rom_addresses
+        )
+        sums, diffs = self.unit.execute(
+            BUOperands(first=first, second=second, coefficients=coefficients)
+        )
+        for position, value in zip(addresses.crf_writes_first, sums):
+            crf.write_shadow(position, value)
+        for position, value in zip(addresses.crf_writes_second, diffs):
+            crf.write_shadow(position, value)

@@ -1,0 +1,79 @@
+"""Custom Register File (CRF) — the on-chip store for epoch intermediates.
+
+The CRF holds one group of intermediate results (``P`` complex entries for
+the larger epoch).  The verified dataflow is ping-pong: each stage reads
+its input column from one bank (at the AC-generated addresses) and writes
+its output column to the other bank at natural positions, then the banks
+swap — matching Fig. 2's two data columns sandwiching the butterflies.
+
+Entries are complex values; in fixed-point mode the ASIP quantises on
+load, so the CRF merely stores what it is given.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CustomRegisterFile"]
+
+
+class CustomRegisterFile:
+    """Double-banked register file of ``entries`` complex values."""
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError(f"CRF needs a positive size, got {entries}")
+        self.entries = entries
+        self._banks = [
+            np.zeros(entries, dtype=complex),
+            np.zeros(entries, dtype=complex),
+        ]
+        self._active = 0
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def active_bank(self) -> int:
+        """Index of the bank currently holding live data."""
+        return self._active
+
+    def _check(self, address: int) -> None:
+        if not (0 <= address < self.entries):
+            raise IndexError(
+                f"CRF address {address} out of range [0, {self.entries})"
+            )
+
+    def read(self, address: int) -> complex:
+        """Read one entry from the active bank."""
+        self._check(address)
+        self.reads += 1
+        return complex(self._banks[self._active][address])
+
+    def write(self, address: int, value: complex) -> None:
+        """Write one entry to the active bank (used by LDIN)."""
+        self._check(address)
+        self.writes += 1
+        self._banks[self._active][address] = value
+
+    def write_shadow(self, address: int, value: complex) -> None:
+        """Write to the inactive bank (stage outputs before the swap)."""
+        self._check(address)
+        self.writes += 1
+        self._banks[1 - self._active][address] = value
+
+    def swap_banks(self) -> None:
+        """Make the shadow bank active (end of a stage)."""
+        self._active = 1 - self._active
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the active bank's contents."""
+        return self._banks[self._active].copy()
+
+    def load_vector(self, values) -> None:
+        """Bulk-load the active bank (test/debug convenience)."""
+        values = np.asarray(values, dtype=complex)
+        if len(values) != self.entries:
+            raise ValueError(
+                f"expected {self.entries} values, got {len(values)}"
+            )
+        self._banks[self._active][:] = values

@@ -1,0 +1,18 @@
+"""Simulator error types."""
+
+from __future__ import annotations
+
+__all__ = ["SimulationError", "UnsupportedInstruction", "RunawayProgram"]
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class UnsupportedInstruction(SimulationError):
+    """An opcode the configured machine cannot execute (e.g. BUT4 on the
+    plain base core without the FFT extension)."""
+
+
+class RunawayProgram(SimulationError):
+    """The instruction budget was exhausted without reaching HALT."""

@@ -1,0 +1,251 @@
+"""The base instruction-set simulator (PISA-like scalar core).
+
+Executes :class:`repro.isa.Program` objects with functional exactness and
+the approximate-but-responsive timing model of
+:mod:`repro.sim.pipeline`.  The three custom opcodes trap to
+:meth:`Machine.execute_custom`, which the plain base core rejects —
+the FFT ASIP of :mod:`repro.asip.fft_asip` subclasses this machine and
+implements them against its CRF/BU/ROM/AC hardware.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import Instruction, Opcode
+from ..isa.program import Program
+from .cache import CacheConfig, DataCache
+from .errors import RunawayProgram, SimulationError, UnsupportedInstruction
+from .memory import MainMemory
+from .pipeline import PipelineConfig
+from .stats import SimStats
+
+__all__ = ["Machine"]
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def _wrap32(value):
+    """Wrap integer results to signed 32-bit; floats pass through."""
+    if isinstance(value, float):
+        return value
+    value &= _WORD_MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class Machine:
+    """Single-issue in-order scalar core with a data cache.
+
+    Parameters
+    ----------
+    memory:
+        Main data memory (word addressed).
+    cache_config:
+        Data-cache geometry/timing; pass None for the default 32 KB cache
+        or ``cache=False``-style behaviour via ``use_cache=False``.
+    pipeline:
+        Timing parameters.
+    max_instructions:
+        Runaway guard: the run aborts with :class:`RunawayProgram` if HALT
+        is not reached within this budget.
+    """
+
+    def __init__(self, memory: MainMemory, cache_config: CacheConfig = None,
+                 pipeline: PipelineConfig = None, use_cache: bool = True,
+                 charge_cache_latency: bool = False,
+                 max_instructions: int = 50_000_000):
+        self.memory = memory
+        self.dcache = DataCache(cache_config) if use_cache else None
+        self.charge_cache_latency = charge_cache_latency
+        self.pipeline = pipeline or PipelineConfig()
+        self.max_instructions = max_instructions
+        self.registers = [0] * 32
+        self.pc = 0
+        self.stats = SimStats()
+        self.halted = False
+        self._last_load_reg = None
+
+    # Register helpers ----------------------------------------------------
+
+    def read_reg(self, number: int):
+        """Read a GPR (r0 reads as zero)."""
+        return 0 if number == 0 else self.registers[number]
+
+    def write_reg(self, number: int, value) -> None:
+        """Write a GPR (writes to r0 are discarded)."""
+        if number != 0:
+            self.registers[number] = _wrap32(value)
+
+    # Memory helpers with cache accounting --------------------------------
+
+    def data_access(self, word_address: int, is_write: bool) -> int:
+        """Account one data access; returns its latency in cycles.
+
+        Miss counting always happens; the miss *penalty* only enters the
+        returned latency when ``charge_cache_latency`` is set.  The default
+        matches the paper's SimpleScalar methodology, where Table I/II
+        cycle counts and data-cache miss counts are separate columns.
+        """
+        if is_write:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+        if self.dcache is None:
+            return 1
+        latency = self.dcache.access(word_address, is_write)
+        if latency > self.dcache.config.hit_latency:
+            self.stats.dcache_misses += 1
+        else:
+            self.stats.dcache_hits += 1
+        if not self.charge_cache_latency:
+            return self.dcache.config.hit_latency
+        return latency
+
+    # Execution -----------------------------------------------------------
+
+    def run(self, program: Program) -> SimStats:
+        """Run ``program`` from instruction 0 until HALT; returns stats."""
+        self.pc = 0
+        self.halted = False
+        self._last_load_reg = None
+        length = len(program)
+        while not self.halted:
+            if not (0 <= self.pc < length):
+                raise SimulationError(
+                    f"PC {self.pc} outside program of length {length}"
+                )
+            instr = program[self.pc]
+            self.step(instr)
+            if self.stats.instructions > self.max_instructions:
+                raise RunawayProgram(
+                    f"exceeded {self.max_instructions} instructions"
+                )
+        return self.stats
+
+    def step(self, instr: Instruction) -> None:
+        """Execute one instruction, updating state, stats and PC."""
+        self.stats.instructions += 1
+        cost = 1
+        next_pc = self.pc + 1
+        op = instr.opcode
+
+        # Load-use interlock from the previous instruction's load.
+        if self._last_load_reg is not None and self._uses(
+            instr, self._last_load_reg
+        ):
+            cost += self.pipeline.load_use_stall
+            self.stats.stall_cycles += self.pipeline.load_use_stall
+        self._last_load_reg = None
+
+        if op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            self.halted = True
+        elif op in _ALU_R:
+            a, b = self.read_reg(instr.rs), self.read_reg(instr.rt)
+            self.write_reg(instr.rd, _ALU_R[op](a, b))
+            if op in (Opcode.MUL, Opcode.MULH):
+                cost += self.pipeline.mul_extra
+        elif op in _ALU_I:
+            a = self.read_reg(instr.rs)
+            self.write_reg(instr.rt, _ALU_I[op](a, instr.imm))
+        elif op is Opcode.LUI:
+            self.write_reg(instr.rt, (instr.imm & 0xFFFF) << 16)
+        elif op is Opcode.LW:
+            address = self.read_reg(instr.rs) + instr.imm
+            cost += self.data_access(address, is_write=False) - 1
+            self.write_reg(instr.rt, self.memory.read_word(address))
+            self._last_load_reg = instr.rt
+        elif op is Opcode.SW:
+            address = self.read_reg(instr.rs) + instr.imm
+            cost += self.data_access(address, is_write=True) - 1
+            self.memory.write_word(address, self.read_reg(instr.rt))
+        elif op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+            self.stats.branches += 1
+            taken = _BRANCH_TAKEN[op](
+                self.read_reg(instr.rs), self.read_reg(instr.rt)
+            )
+            if taken:
+                next_pc = instr.imm
+                cost += self.pipeline.branch_penalty
+                self.stats.taken_branches += 1
+        elif op is Opcode.J:
+            self.stats.branches += 1
+            self.stats.taken_branches += 1
+            next_pc = instr.imm
+            cost += self.pipeline.branch_penalty
+        elif op is Opcode.JAL:
+            self.stats.branches += 1
+            self.stats.taken_branches += 1
+            self.write_reg(31, self.pc + 1)
+            next_pc = instr.imm
+            cost += self.pipeline.branch_penalty
+        elif op is Opcode.JR:
+            self.stats.branches += 1
+            self.stats.taken_branches += 1
+            next_pc = self.read_reg(instr.rs)
+            cost += self.pipeline.branch_penalty
+        elif instr.is_custom:
+            cost += self.execute_custom(instr)
+        else:  # pragma: no cover - enum is exhaustive
+            raise UnsupportedInstruction(f"cannot execute {instr}")
+
+        self.stats.cycles += cost
+        self.pc = next_pc
+
+    def execute_custom(self, instr: Instruction) -> int:
+        """Execute a custom opcode; returns *extra* cycles beyond issue.
+
+        The plain base core has no FFT extension hardware.
+        """
+        raise UnsupportedInstruction(
+            f"{instr.opcode} requires the FFT extension hardware"
+        )
+
+    @staticmethod
+    def _uses(instr: Instruction, reg: int) -> bool:
+        if reg == 0:
+            return False
+        op = instr.opcode
+        if op in _ALU_R or op is Opcode.JR:
+            return reg in (instr.rs, instr.rt)
+        if op in _ALU_I or op is Opcode.LW:
+            return reg == instr.rs
+        if op is Opcode.SW or op in (
+            Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE
+        ):
+            return reg in (instr.rs, instr.rt)
+        return False
+
+
+def _shift_amount(value) -> int:
+    return int(value) & 31
+
+
+_ALU_R = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.MULH: lambda a, b: (int(a) * int(b)) >> 32,
+    Opcode.AND: lambda a, b: int(a) & int(b),
+    Opcode.OR: lambda a, b: int(a) | int(b),
+    Opcode.XOR: lambda a, b: int(a) ^ int(b),
+    Opcode.SLT: lambda a, b: 1 if a < b else 0,
+    Opcode.SLLV: lambda a, b: int(a) << _shift_amount(b),
+}
+
+_ALU_I = {
+    Opcode.ADDI: lambda a, imm: a + imm,
+    Opcode.ANDI: lambda a, imm: int(a) & (imm & 0xFFFF),
+    Opcode.ORI: lambda a, imm: int(a) | (imm & 0xFFFF),
+    Opcode.XORI: lambda a, imm: int(a) ^ (imm & 0xFFFF),
+    Opcode.SLTI: lambda a, imm: 1 if a < imm else 0,
+    Opcode.SLL: lambda a, imm: int(a) << _shift_amount(imm),
+    Opcode.SRL: lambda a, imm: (int(a) & _WORD_MASK) >> _shift_amount(imm),
+    Opcode.SRA: lambda a, imm: int(a) >> _shift_amount(imm),
+}
+
+_BRANCH_TAKEN = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BGE: lambda a, b: a >= b,
+}

@@ -1,0 +1,91 @@
+"""Word-addressed main memory with complex-point helpers.
+
+One complex sample point occupies **one 32-bit word** — packed Q1.15 real
+(high half) and imaginary (low half) — so the paper's 64-bit bus moves
+exactly two points per beat and one LDIN/STOUT transfers two points, as
+Section III-B states.  Point addresses and word addresses therefore
+coincide.
+
+The memory also serves as plain word storage for base-ISA ``lw``/``sw``
+(the software baselines choose their own layouts).  In ``float_mode``
+(the idealised datapath) a word may hold a Python complex directly; in
+fixed-point mode complex points are stored packed and bit-true.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.fixed_point import FixedComplex, quantize
+
+__all__ = ["MainMemory"]
+
+
+class MainMemory:
+    """A flat word-addressed memory.
+
+    Parameters
+    ----------
+    words:
+        Size in 32-bit words.
+    float_mode:
+        When True, complex helpers store native complex values (idealised
+        datapath); when False they pack Q1.15 pairs into one integer word.
+    """
+
+    def __init__(self, words: int, float_mode: bool = True):
+        if words <= 0:
+            raise ValueError(f"memory size must be positive, got {words}")
+        self.size = words
+        self.float_mode = float_mode
+        self._data = [0] * words
+
+    def _check(self, address: int) -> None:
+        if not (0 <= address < self.size):
+            raise IndexError(
+                f"memory address {address} out of range [0, {self.size})"
+            )
+
+    def read_word(self, address: int):
+        """Read one word."""
+        self._check(address)
+        return self._data[address]
+
+    def write_word(self, address: int, value) -> None:
+        """Write one word."""
+        self._check(address)
+        self._data[address] = value
+
+    # Complex-point layer -------------------------------------------------
+
+    def read_complex(self, point_address: int) -> complex:
+        """Read the complex point at ``point_address``."""
+        self._check(point_address)
+        value = self._data[point_address]
+        if self.float_mode:
+            return complex(value)
+        word = int(value)
+        return FixedComplex.from_words(
+            (word >> 16) & 0xFFFF, word & 0xFFFF
+        ).to_complex()
+
+    def write_complex(self, point_address: int, value: complex) -> None:
+        """Store a complex point at ``point_address``."""
+        self._check(point_address)
+        if self.float_mode:
+            self._data[point_address] = complex(value)
+        else:
+            re_word, im_word = quantize(complex(value)).to_words()
+            self._data[point_address] = (re_word << 16) | im_word
+
+    def load_complex_vector(self, base_point: int, values) -> None:
+        """Bulk-store a complex vector starting at ``base_point``."""
+        for k, v in enumerate(np.asarray(values, dtype=complex)):
+            self.write_complex(base_point + k, complex(v))
+
+    def read_complex_vector(self, base_point: int, count: int) -> np.ndarray:
+        """Bulk-read ``count`` complex points."""
+        return np.array(
+            [self.read_complex(base_point + k) for k in range(count)],
+            dtype=complex,
+        )

@@ -1,0 +1,40 @@
+"""Pipeline timing model for the 5-stage in-order base core.
+
+The simulator is functionally exact and *timing-approximate*: every
+instruction issues in one cycle, with added cycles for the classic
+in-order hazards — taken-branch redirect, load-use interlock, multi-cycle
+multiply — plus the data-cache latency returned by the cache model.  This
+is the same modelling level as SimpleScalar's sim-cache/sim-profile flows
+the paper used, and it is what makes the cycle counts respond to the
+things the paper's design changes: instruction count, loads/stores, and
+cache misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Timing parameters of the base core.
+
+    Defaults model a single-issue 5-stage RISC at 300 MHz: 2-cycle taken
+    branch redirect (resolve in EX), 1-cycle load-use interlock, 2-cycle
+    pipelined multiplier, single-cycle BU (its 3.2 ns critical path is the
+    clock-limiting stage, Section IV).
+    """
+
+    branch_penalty: int = 2
+    load_use_stall: int = 1
+    mul_extra: int = 1
+    but4_latency: int = 1
+    custom_mem_latency: int = 1
+
+    def __post_init__(self):
+        for name in ("branch_penalty", "load_use_stall", "mul_extra",
+                     "but4_latency", "custom_mem_latency"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")

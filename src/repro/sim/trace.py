@@ -1,0 +1,60 @@
+"""Bounded execution tracing for debugging simulated programs."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..isa.instructions import Instruction
+
+__all__ = ["TraceEntry", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One retired instruction with its PC and cycle stamp."""
+
+    pc: int
+    cycle: int
+    instruction: Instruction
+
+    def __str__(self) -> str:
+        return f"[{self.cycle:>10d}] {self.pc:6d}: {self.instruction}"
+
+
+class ExecutionTrace:
+    """Ring buffer of the most recent ``capacity`` retired instructions.
+
+    Attach to a machine by wrapping its ``step``::
+
+        trace = ExecutionTrace(capacity=1000)
+        machine.step = trace.wrap(machine)
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.entries = deque(maxlen=capacity)
+
+    def record(self, pc: int, cycle: int, instruction: Instruction) -> None:
+        """Append one entry."""
+        self.entries.append(
+            TraceEntry(pc=pc, cycle=cycle, instruction=instruction)
+        )
+
+    def wrap(self, machine):
+        """Return a replacement ``step`` that records then delegates."""
+        original_step = machine.step
+
+        def traced_step(instr):
+            self.record(machine.pc, machine.stats.cycles, instr)
+            return original_step(instr)
+
+        return traced_step
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def listing(self) -> str:
+        """The buffered trace as text."""
+        return "\n".join(str(e) for e in self.entries)

@@ -1,0 +1,87 @@
+"""Analysis helpers: tables, verification, sweeps, throughput metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_ratio,
+    max_error,
+    render_table,
+    size_sweep,
+    spectrum_snr_db,
+    table1_rows,
+    verify_against_numpy,
+)
+from repro.asip.throughput import (
+    msamples_per_second,
+    paper_mbps,
+    throughput_report,
+)
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table(["a", "b"], [[1, 2.5], [30000, "x"]], title="T")
+        assert "T" in out
+        assert "30,000" in out
+        assert "2.5" in out
+
+    def test_ratio_format(self):
+        assert format_ratio(866.5123) == "866.5X"
+
+
+class TestVerify:
+    def test_max_error(self):
+        assert max_error([1 + 1j], [1 + 0j]) == 1.0
+
+    def test_verify_against_numpy(self):
+        x = np.random.default_rng(0).standard_normal(16)
+        assert verify_against_numpy(np.fft.fft(x), x)
+        assert not verify_against_numpy(np.zeros(16), x + 1)
+
+    def test_scaled_verification(self):
+        x = np.random.default_rng(1).standard_normal(16)
+        assert verify_against_numpy(np.fft.fft(x) / 16, x, scale=1 / 16)
+
+    def test_snr_helper(self):
+        x = np.random.default_rng(2).standard_normal(16)
+        assert spectrum_snr_db(np.fft.fft(x), x) == float("inf")
+
+
+class TestThroughput:
+    def test_paper_formula_reproduces_table1(self):
+        """6 * N * 300MHz / cycles reproduces every published Mbps."""
+        published = {
+            64: (197, 584.7), 128: (402, 572.2), 256: (851, 540.9),
+            512: (1828, 502.2), 1024: (4168, 440.6),
+        }
+        for n, (cycles, mbps) in published.items():
+            assert abs(paper_mbps(n, cycles) - mbps) / mbps < 0.01
+
+    def test_msamples(self):
+        assert msamples_per_second(1024, 4168) == pytest.approx(
+            1024 * 300e6 / 4168 / 1e6
+        )
+
+    def test_report_rows(self):
+        report = throughput_report(64, 197)
+        n, cycles, msps, mbps = report.row()
+        assert (n, cycles) == (64, 197)
+        assert mbps == pytest.approx(584.7, abs=0.2)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ValueError):
+            msamples_per_second(64, 0)
+
+
+class TestSweep:
+    def test_small_sweep(self):
+        results = size_sweep([16, 64])
+        assert set(results) == {16, 64}
+        rows = table1_rows(results)
+        assert rows[0][0] == 16
+        assert rows[1][2] == 197  # paper cycles column for N=64
+
+    def test_fixed_point_sweep(self):
+        results = size_sweep([16], fixed_point=True)
+        assert 16 in results

@@ -1,0 +1,106 @@
+"""Text assembler and the program builder."""
+
+import pytest
+
+from repro.isa import AssemblyError, Opcode, ProgramBuilder, assemble
+
+
+class TestAssemble:
+    def test_basic_program(self):
+        program = assemble("""
+            # count down from 3
+                li   r1, 3
+            loop:
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+        """)
+        assert len(program) == 4
+        assert program.labels["loop"] == 1
+        assert program[2].imm == 1  # resolved to the loop index
+
+    def test_memory_syntax(self):
+        program = assemble("lw r5, 8(r2)\nsw r5, -4(sp)\nhalt")
+        assert program[0].opcode is Opcode.LW
+        assert program[0].imm == 8
+        assert program[1].rs == 29
+
+    def test_custom_two_operand_forms(self):
+        program = assemble("but4 r12, r20\nldin r4, r5\nhalt")
+        assert program[0].opcode is Opcode.BUT4
+        assert (program[0].rs, program[0].rt) == (12, 20)
+        assert program[1].opcode is Opcode.LDIN
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            ; semicolon comment
+            nop   # trailing comment
+
+            halt
+        """)
+        assert len(program) == 2
+
+    def test_hex_immediates(self):
+        program = assemble("addi r1, r0, 0x10\nhalt")
+        assert program[0].imm == 16
+
+    def test_wide_li_expands(self):
+        program = assemble("li r1, 0x12345678\nhalt")
+        assert program[0].opcode is Opcode.LUI
+        assert program[1].opcode is Opcode.ORI
+
+    def test_jump_to_label(self):
+        program = assemble("j end\nnop\nend: halt")
+        assert program[0].imm == 2
+
+    def test_errors_carry_line_numbers(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble("nop\nbogus r1, r2\n")
+        assert "line 2" in str(err.value)
+
+    def test_undefined_label(self):
+        with pytest.raises(ValueError):
+            assemble("j nowhere\nhalt")
+
+    def test_duplicate_label(self):
+        with pytest.raises(ValueError):
+            assemble("a: nop\na: halt")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("addi r99, r0, 1")
+
+
+class TestProgramBuilder:
+    def test_branch_patching(self):
+        b = ProgramBuilder("t")
+        b.branch(Opcode.J, target="end")
+        b.nop()
+        b.label("end")
+        b.halt()
+        program = b.build()
+        assert program[0].imm == 2
+
+    def test_branch_requires_branch_opcode(self):
+        b = ProgramBuilder()
+        with pytest.raises(ValueError):
+            b.branch(Opcode.ADD, target="x")
+
+    def test_li_small_is_one_instruction(self):
+        b = ProgramBuilder()
+        b.li(1, -5)
+        assert len(b.build()) == 1
+
+    def test_listing_contains_labels(self):
+        b = ProgramBuilder()
+        b.label("start")
+        b.halt()
+        assert "start:" in b.build().listing()
+
+    def test_executed_round_trip_through_text(self):
+        """Assembler output disassembles to re-assemblable text."""
+        source = "li r1, 7\nloop: addi r1, r1, -1\nbne r1, r0, 1\nhalt"
+        program = assemble(source)
+        text = "\n".join(str(i) for i in program)
+        again = assemble(text)
+        assert [i.opcode for i in again] == [i.opcode for i in program]

@@ -1,0 +1,137 @@
+"""Unit and property tests for the bit-manipulation primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.addressing.bitops import (
+    bit_reverse,
+    bit_width_of,
+    bits_of,
+    from_bits,
+    get_bit,
+    relocate_bit,
+    set_bit,
+    swap_bits,
+    swap_bits_msb,
+    swap_fields,
+)
+
+
+class TestBitWidthOf:
+    def test_powers_of_two(self):
+        assert bit_width_of(1) == 0
+        assert bit_width_of(2) == 1
+        assert bit_width_of(1024) == 10
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 6, 1023])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            bit_width_of(bad)
+
+
+class TestGetSetBit:
+    def test_get_bit(self):
+        assert get_bit(0b1010, 1) == 1
+        assert get_bit(0b1010, 0) == 0
+
+    def test_set_bit(self):
+        assert set_bit(0b1010, 0, 1) == 0b1011
+        assert set_bit(0b1010, 1, 0) == 0b1000
+
+    def test_set_bit_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            set_bit(0, 0, 2)
+
+    def test_get_bit_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            get_bit(1, -1)
+
+
+class TestBitReverse:
+    def test_known_values(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b011, 3) == 0b110
+        assert bit_reverse(0b110101, 6) == 0b101011
+
+    def test_zero_width(self):
+        assert bit_reverse(0, 0) == 0
+
+    def test_rejects_oversized_value(self):
+        with pytest.raises(ValueError):
+            bit_reverse(8, 3)
+
+    @given(st.integers(1, 12), st.data())
+    def test_involution(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        assert bit_reverse(bit_reverse(value, width), width) == value
+
+    @given(st.integers(1, 12))
+    def test_is_permutation(self, width):
+        size = 1 << width
+        image = {bit_reverse(v, width) for v in range(size)}
+        assert image == set(range(size))
+
+
+class TestSwapBits:
+    def test_swap(self):
+        assert swap_bits(0b100, 0, 2) == 0b001
+        assert swap_bits(0b101, 0, 2) == 0b101
+
+    @given(st.integers(0, 255), st.integers(0, 7), st.integers(0, 7))
+    def test_involution(self, value, i, j):
+        assert swap_bits(swap_bits(value, i, j), i, j) == value
+
+    def test_msb_convention_matches_paper_example(self):
+        # Fig. 2: switching the 1st and 2nd bit (from leftmost) of 'def'
+        # gives 'edf': for value bits (d, e, f) = (1, 0, 1) -> (0, 1, 1).
+        assert swap_bits_msb(0b101, 3, 1, 2) == 0b011
+
+    def test_msb_bounds(self):
+        with pytest.raises(ValueError):
+            swap_bits_msb(0, 3, 0, 1)
+        with pytest.raises(ValueError):
+            swap_bits_msb(0, 3, 1, 4)
+
+
+class TestSwapFields:
+    def test_known(self):
+        # [ab][cde] -> [cde][ab] for 2+3 bits
+        assert swap_fields(0b10110, low_width=3, high_width=2) == 0b11010
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            swap_fields(1 << 5, low_width=3, high_width=2)
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.data())
+    def test_double_swap_identity(self, low, high, data):
+        value = data.draw(st.integers(0, (1 << (low + high)) - 1))
+        once = swap_fields(value, low, high)
+        assert swap_fields(once, high, low) == value
+
+
+class TestRelocateBit:
+    def test_identity_when_same_position(self):
+        assert relocate_bit(0b1011, 4, 2, 2) == 0b1011
+
+    def test_moves_bit(self):
+        # [a b c d], move position 1 (a) to position 3: [b c a d]
+        assert relocate_bit(0b1000, 4, 1, 3) == 0b0010
+
+    @given(st.integers(2, 10), st.data())
+    def test_is_permutation(self, width, data):
+        src = data.draw(st.integers(1, width))
+        dst = data.draw(st.integers(1, width))
+        size = 1 << width
+        image = {relocate_bit(v, width, src, dst) for v in range(size)}
+        assert image == set(range(size))
+
+
+class TestBitsRoundTrip:
+    @given(st.integers(0, 10), st.data())
+    def test_roundtrip(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1)) if width else 0
+        assert from_bits(bits_of(value, width)) == value
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 2])

@@ -1,0 +1,93 @@
+"""The Butterfly Unit: single butterflies, BU ops and column execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.butterfly import BUOperands, ButterflyUnit, radix2_butterfly
+
+finite = st.floats(-100, 100, allow_nan=False)
+cplx = st.builds(complex, finite, finite)
+
+
+class TestRadix2Butterfly:
+    @given(cplx, cplx, cplx)
+    def test_definition(self, a, b, w):
+        s, d = radix2_butterfly(a, b, w)
+        assert s == a + w * b
+        assert d == a - w * b
+
+    @given(cplx, cplx)
+    def test_sum_invariant(self, a, b):
+        """s + d == 2a regardless of twiddle operand b pairing."""
+        s, d = radix2_butterfly(a, b, 1j)
+        assert abs((s + d) - 2 * a) < 1e-9
+
+    def test_unit_twiddle_is_dft2(self):
+        s, d = radix2_butterfly(3 + 1j, 1 - 1j, 1.0)
+        assert s == 4 + 0j
+        assert d == 2 + 2j
+
+
+class TestBUOperands:
+    def test_rejects_mismatched_lanes(self):
+        with pytest.raises(ValueError):
+            BUOperands(first=(1,), second=(1, 2), coefficients=(1,))
+
+    def test_rejects_too_many_lanes(self):
+        with pytest.raises(ValueError):
+            BUOperands(
+                first=(1,) * 5, second=(1,) * 5, coefficients=(1,) * 5
+            )
+
+
+class TestButterflyUnit:
+    def test_counts_operations(self):
+        bu = ButterflyUnit()
+        ops = BUOperands(first=(1, 2), second=(3, 4),
+                         coefficients=(1.0, 1.0))
+        bu.execute(ops)
+        bu.execute(ops)
+        assert bu.op_count == 2
+        bu.reset_stats()
+        assert bu.op_count == 0
+
+    def test_execute_vectorised(self):
+        bu = ButterflyUnit()
+        ops = BUOperands(
+            first=(1 + 0j, 2 + 0j, 3 + 0j, 4 + 0j),
+            second=(1 + 0j, 1 + 0j, 1 + 0j, 1 + 0j),
+            coefficients=(1 + 0j, -1 + 0j, 1j, -1j),
+        )
+        sums, diffs = bu.execute(ops)
+        assert sums == (2 + 0j, 1 + 0j, 3 + 1j, 4 - 1j)
+        assert diffs == (0j, 3 + 0j, 3 - 1j, 4 + 1j)
+
+    def test_execute_column_is_half_split_stage(self):
+        bu = ButterflyUnit()
+        column = np.array([1, 2, 3, 4, 5, 6, 7, 8], dtype=complex)
+        coeffs = np.ones(4, dtype=complex)
+        out = bu.execute_column(column, coeffs)
+        assert np.allclose(out[:4], column[:4] + column[4:])
+        assert np.allclose(out[4:], column[:4] - column[4:])
+        assert bu.op_count == 1  # one 8-point op
+
+    def test_execute_column_large_uses_multiple_ops(self):
+        bu = ButterflyUnit()
+        column = np.arange(32, dtype=complex)
+        out = bu.execute_column(column, np.ones(16, dtype=complex))
+        assert bu.op_count == 4  # 16 butterflies / 4 lanes
+        assert np.allclose(out[:16], column[:16] + column[16:])
+
+    def test_execute_column_tiny_group(self):
+        bu = ButterflyUnit()
+        out = bu.execute_column(
+            np.array([5 + 0j, 3 + 0j]), np.array([1 + 0j])
+        )
+        assert np.allclose(out, [8, 2])
+
+    def test_coefficient_count_checked(self):
+        bu = ButterflyUnit()
+        with pytest.raises(ValueError):
+            bu.execute_column(np.zeros(8, dtype=complex),
+                              np.ones(3, dtype=complex))

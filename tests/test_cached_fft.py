@@ -1,0 +1,58 @@
+"""The Baas-style cached (two-epoch) FFT skeleton."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing.epoch import EpochSplit, split_epochs
+from repro.fft import cached_fft, naive_dft, prerotation_weights
+from repro.fft.cached import epoch0_groups, epoch1_groups
+
+
+def random_vector(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestCachedFFT:
+    @given(st.sampled_from([4, 8, 16, 32, 64, 128, 256]),
+           st.integers(0, 99))
+    @settings(deadline=None, max_examples=30)
+    def test_matches_numpy(self, n, seed):
+        x = random_vector(n, seed)
+        assert np.allclose(cached_fft(x), np.fft.fft(x))
+
+    def test_with_naive_inner_engine(self):
+        x = random_vector(64, 7)
+        assert np.allclose(cached_fft(x, inner_fft=naive_dft),
+                           np.fft.fft(x))
+
+    def test_custom_split(self):
+        x = random_vector(64, 8)
+        split = EpochSplit(n=6, p=4, q=2)  # non-default 16x4 split
+        assert np.allclose(cached_fft(x, split=split), np.fft.fft(x))
+
+    def test_split_size_mismatch(self):
+        with pytest.raises(ValueError):
+            cached_fft(np.zeros(16), split=split_epochs(64))
+
+
+class TestGroupIteration:
+    def test_epoch0_groups_are_strided(self):
+        split = split_epochs(16)  # P=Q=4
+        x = np.arange(16, dtype=complex)
+        groups = dict(epoch0_groups(x, split))
+        assert np.allclose(groups[1], [1, 5, 9, 13])
+        assert len(groups) == 4
+
+    def test_epoch1_groups_are_contiguous(self):
+        split = split_epochs(16)
+        z = np.arange(16, dtype=complex)
+        groups = dict(epoch1_groups(z, split))
+        assert np.allclose(groups[2], [8, 9, 10, 11])
+
+    def test_prerotation_weights_values(self):
+        split = split_epochs(64)
+        w = prerotation_weights(split, s=3)
+        l = np.arange(split.Q)
+        assert np.allclose(w, np.exp(-2j * np.pi * 3 * l / 64))

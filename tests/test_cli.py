@@ -1,0 +1,60 @@
+"""The ``python -m repro`` reproduction CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.size == 1024
+        args = build_parser().parse_args(["hw"])
+        assert args.group_size == 32
+
+
+class TestCommands:
+    def test_fft_command(self, capsys):
+        assert main(["fft", "--size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles = " in out
+        assert "max error" in out
+
+    def test_fft_fixed_point(self, capsys):
+        assert main(["fft", "--size", "16", "--fixed-point"]) == 0
+        assert "Q1.15" in capsys.readouterr().out
+
+    def test_hw_command(self, capsys):
+        assert main(["hw", "--group-size", "16"]) == 0
+        assert "BU + AC gates" in capsys.readouterr().out
+
+    def test_listing_command(self, capsys):
+        assert main(["listing", "--size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "but4" in out
+        assert "stout" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "X vs proposed" in out
+        assert "Standard SW FFT" in out
+
+
+class TestReport:
+    def test_report_small(self, capsys):
+        assert main(["report", "--size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "Table I" in out and "Table II" in out
+        assert "FAIL" not in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--size", "64",
+                     "--output", str(target)]) == 0
+        assert "Hardware cost" in target.read_text()

@@ -1,0 +1,114 @@
+"""Coefficient addressing: ROM stride rule and the pre-rotation store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing.coefficients import (
+    PreRotationStore,
+    prerotation_exponent,
+    rom_coefficient_index,
+    rom_module_addresses,
+    rom_table,
+)
+
+
+class TestRomRule:
+    def test_paper_32_point_stage2_example(self):
+        """Section II-C: stage 2 of a 32-point FFT, modules 1..4 read
+        (0,0,0,0), (0,0,0,0), (8,8,8,8), (8,8,8,8)."""
+        addresses = [rom_module_addresses(32, 2, i) for i in range(1, 5)]
+        assert addresses == [
+            (0, 0, 0, 0), (0, 0, 0, 0), (8, 8, 8, 8), (8, 8, 8, 8),
+        ]
+
+    def test_stage1_all_zero(self):
+        assert all(
+            rom_coefficient_index(32, 1, m) == 0 for m in range(16)
+        )
+
+    def test_last_stage_all_distinct(self):
+        p = 5
+        addresses = [rom_coefficient_index(32, p, m) for m in range(16)]
+        assert addresses == list(range(16))
+
+    @given(st.sampled_from([8, 16, 32, 64, 128]), st.data())
+    def test_stride_rule_closed_form(self, points, data):
+        stages = points.bit_length() - 1
+        stage = data.draw(st.integers(1, stages))
+        m = data.draw(st.integers(0, points // 2 - 1))
+        stride = points >> stage
+        expected = (m // stride) * stride if stride else 0
+        assert rom_coefficient_index(points, stage, m) == expected
+
+    @given(st.sampled_from([8, 16, 32, 64]), st.data())
+    def test_addresses_in_rom_range(self, points, data):
+        stages = points.bit_length() - 1
+        stage = data.draw(st.integers(1, stages))
+        m = data.draw(st.integers(0, points // 2 - 1))
+        assert 0 <= rom_coefficient_index(points, stage, m) < points // 2
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            rom_coefficient_index(32, 0, 0)
+        with pytest.raises(ValueError):
+            rom_coefficient_index(32, 6, 0)
+        with pytest.raises(ValueError):
+            rom_coefficient_index(32, 1, 16)
+        with pytest.raises(ValueError):
+            rom_module_addresses(32, 1, 5)
+
+    def test_rom_table_contents(self):
+        table = rom_table(16)
+        assert len(table) == 8
+        k = np.arange(8)
+        assert np.allclose(table, np.exp(-2j * np.pi * k / 16))
+
+
+class TestPreRotationStore:
+    def test_stores_only_n_eighth_plus_one(self):
+        assert PreRotationStore(1024).stored_count == 129
+        assert PreRotationStore(64).stored_count == 9
+
+    @given(st.sampled_from([8, 16, 64, 256, 1024]), st.data())
+    @settings(max_examples=60)
+    def test_reconstruction_exact(self, n, data):
+        store = PreRotationStore(n)
+        exponent = data.draw(st.integers(0, 4 * n))
+        assert abs(
+            store.lookup(exponent) - store.exact(exponent)
+        ) < 1e-12
+
+    def test_full_circle_64(self):
+        store = PreRotationStore(64)
+        for e in range(64):
+            assert abs(store.lookup(e) - store.exact(e)) < 1e-12
+
+    @given(st.sampled_from([16, 64, 256]), st.data())
+    def test_weight_matches_wn_sl(self, n, data):
+        store = PreRotationStore(n)
+        s = data.draw(st.integers(0, n - 1))
+        l = data.draw(st.integers(0, n - 1))
+        expected = np.exp(-2j * np.pi * ((s * l) % n) / n)
+        assert abs(store.weight(s, l) - expected) < 1e-12
+
+    def test_stored_address_in_range(self):
+        store = PreRotationStore(64)
+        for e in range(64):
+            assert 0 <= store.stored_address(e) <= 8
+
+    def test_paper_parity_rule_first_quarter(self):
+        """Even octant: e mod N/8; odd octant: N/8 - (e mod N/8)."""
+        store = PreRotationStore(64)
+        assert store.stored_address(3) == 3       # octant 0
+        assert store.stored_address(8 + 3) == 5   # octant 1: 8 - 3
+        assert store.stored_address(8) == 8
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            PreRotationStore(4)
+
+    def test_exponent_helper(self):
+        assert prerotation_exponent(3, 5, 8) == 7
+        with pytest.raises(ValueError):
+            prerotation_exponent(-1, 0, 8)

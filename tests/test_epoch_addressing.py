@@ -1,0 +1,113 @@
+"""Epoch memory addressing: the AI0/AO0/AI1/AO1 relations of Fig. 1."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.addressing.bitops import bit_reverse, swap_fields
+from repro.addressing.epoch import EpochSplit, split_epochs
+
+SIZES = st.sampled_from([4, 8, 16, 32, 64, 128, 256, 1024])
+
+
+class TestSplitEpochs:
+    def test_square_split(self):
+        split = split_epochs(64)
+        assert (split.p, split.q) == (3, 3)
+        assert (split.P, split.Q) == (8, 8)
+
+    def test_non_square_split(self):
+        split = split_epochs(128)
+        assert (split.p, split.q) == (4, 3)
+        assert split.P * split.Q == 128
+
+    @given(SIZES)
+    def test_paper_constraint(self, n):
+        split = split_epochs(n)
+        assert split.p + split.q == split.n
+        assert 0 <= split.p - split.q <= 1
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            split_epochs(2)
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            split_epochs(96)
+
+    def test_group_structure(self):
+        split = split_epochs(128)  # P=16, Q=8
+        assert split.groups_in_epoch(0) == 8
+        assert split.groups_in_epoch(1) == 16
+        assert split.group_size(0) == 16
+        assert split.group_size(1) == 8
+        assert split.stages_in_epoch(0) == 4
+        assert split.stages_in_epoch(1) == 3
+
+    def test_epoch_bounds(self):
+        split = split_epochs(16)
+        with pytest.raises(ValueError):
+            split.stages_in_epoch(2)
+        with pytest.raises(ValueError):
+            split.groups_in_epoch(-1)
+
+
+class TestAddressRelations:
+    """The paper's four sequences and the relations between them."""
+
+    @given(SIZES, st.data())
+    def test_ai0_is_natural(self, n, data):
+        split = split_epochs(n)
+        k = data.draw(st.integers(0, n - 1))
+        assert split.ai0(k) == k
+
+    @given(SIZES, st.data())
+    def test_ao0_reverses_low_p_bits(self, n, data):
+        split = split_epochs(n)
+        k = data.draw(st.integers(0, n - 1))
+        high = k >> split.p
+        low = k & (split.P - 1)
+        expected = (high << split.p) | bit_reverse(low, split.p)
+        assert split.ao0(k) == expected
+
+    @given(SIZES, st.data())
+    def test_ai1_swaps_fields_of_ao0(self, n, data):
+        split = split_epochs(n)
+        k = data.draw(st.integers(0, n - 1))
+        assert split.ai1(k) == swap_fields(split.ao0(k), split.p, split.q)
+
+    @given(SIZES, st.data())
+    def test_ao1_reverses_low_q_bits_of_ai1(self, n, data):
+        split = split_epochs(n)
+        k = data.draw(st.integers(0, n - 1))
+        a = split.ai1(k)
+        high = a >> split.q
+        low = a & (split.Q - 1)
+        assert split.ao1(k) == (high << split.q) | bit_reverse(low, split.q)
+
+    @given(SIZES)
+    def test_all_maps_are_permutations(self, n):
+        split = split_epochs(n)
+        for perm in (
+            split.ao0_permutation(),
+            split.ai1_permutation(),
+            split.ao1_permutation(),
+        ):
+            assert sorted(perm) == list(range(n))
+
+    def test_index_bounds(self):
+        split = split_epochs(16)
+        for fn in (split.ai0, split.ao0, split.ai1, split.ao1):
+            with pytest.raises(ValueError):
+                fn(16)
+            with pytest.raises(ValueError):
+                fn(-1)
+
+    def test_fig1_64_point_examples(self):
+        """Spot-check the 64-point structure of Fig. 1 (p = q = 3)."""
+        split = split_epochs(64)
+        # k = [l=1][m=0] -> AO0 unchanged for m=0 (reverse of 000 is 000)
+        assert split.ao0(0b001000) == 0b001000
+        # m=1 (001) reverses to 100 within the low field
+        assert split.ao0(0b001001) == 0b001100
+        # AI1 swaps the two 3-bit fields of AO0
+        assert split.ai1(0b001001) == 0b100001

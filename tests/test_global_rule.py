@@ -1,0 +1,98 @@
+"""The global address-changing rule P_j and its label-flow derivation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing.bitops import bit_reverse
+from repro.addressing.global_rule import (
+    column_labels,
+    global_permutation,
+    relocate_rule,
+)
+
+PS = st.integers(2, 7)
+
+
+class TestColumnLabels:
+    @given(PS, st.data())
+    @settings(deadline=None, max_examples=20)
+    def test_labels_are_a_permutation(self, p, data):
+        stage = data.draw(st.integers(1, p))
+        labels = column_labels(p, stage)
+        assert sorted(labels) == list(range(1 << p))
+
+    def test_stage1_labels_natural(self):
+        assert column_labels(4, 1) == list(range(16))
+
+    @given(PS, st.data())
+    @settings(deadline=None, max_examples=20)
+    def test_pairing_invariant_holds_at_every_stage(self, p, data):
+        """column_labels raises AssertionError if any stage's module pairs
+        labels that do not differ in exactly bit (p - j) — running it to
+        the last stage exercises the invariant for every stage."""
+        stage = data.draw(st.integers(2, p))
+        column_labels(p, stage)  # must not raise
+
+    def test_half_split_halves_partition_by_stage_bit(self):
+        """Within a stage column, the sum half holds the bit-(p-j)-clear
+        label of each pair and the difference half the set one."""
+        p = 5
+        for stage in range(1, p + 1):
+            labels = column_labels(p, stage)
+            half = (1 << p) // 2
+            bit = p - stage
+            for m in range(half):
+                assert (labels[m] >> bit) & 1 == 0
+                assert (labels[m + half] >> bit) & 1 == 1
+
+
+class TestGlobalPermutation:
+    def test_inverse_relation_with_labels(self):
+        p = 4
+        for stage in range(1, p + 1):
+            labels = column_labels(p, stage)
+            perm = global_permutation(p, stage)
+            for position, label in enumerate(labels):
+                assert perm[label] == position
+
+    def test_output_stage_is_bitrev(self):
+        assert global_permutation(5, 6) == [
+            bit_reverse(u, 5) for u in range(32)
+        ]
+
+
+class TestRelocateRule:
+    """The paper's verbal rule, kept as a documented artefact.
+
+    It is compared against the operationally-derived P_j: the verbal
+    statement is ambiguous about bit-indexing, and for most stages it
+    does not coincide with the executable permutation — we record that
+    (rather than silently replacing the paper's text)."""
+
+    def test_is_permutation(self):
+        for p in (3, 4, 5):
+            for stage in range(1, p + 1):
+                image = {
+                    relocate_rule(a, p, stage) for a in range(1 << p)
+                }
+                assert image == set(range(1 << p))
+
+    def test_degenerate_small_width(self):
+        assert relocate_rule(1, 1, 1) == 1
+
+    @given(st.integers(2, 6), st.data())
+    def test_preserves_other_bit_order(self, p, data):
+        """Removing the moved bit from source and destination leaves the
+        same residual bit string."""
+        stage = data.draw(st.integers(1, p))
+        addr = data.draw(st.integers(0, (1 << p) - 1))
+        moved_src = p - 2  # LSB position of the relocated bit
+        out = relocate_rule(addr, p, stage)
+        dst = min(stage, p - 1)
+
+        def strip(value, position):
+            bits = [(value >> k) & 1 for k in range(p)][::-1]
+            bits.pop(p - 1 - position)
+            return bits
+
+        assert strip(addr, moved_src) == strip(out, dst)

@@ -1,0 +1,94 @@
+"""Hardware cost models against the paper's Section IV numbers."""
+
+import pytest
+
+from repro.hw import (
+    AreaModel,
+    PowerModel,
+    TimingModel,
+    hardware_report,
+)
+
+
+class TestAreaCalibration:
+    def test_bu_ac_within_one_percent(self):
+        bu_ac = AreaModel(32).breakdown().bu_ac
+        assert abs(bu_ac - 17_324) / 17_324 < 0.01
+
+    def test_crf_rom_within_one_percent(self):
+        crf_rom = AreaModel(32).breakdown().crf_rom
+        assert abs(crf_rom - 15_764) / 15_764 < 0.01
+
+    def test_total_near_33k(self):
+        assert abs(AreaModel(32).breakdown().total - 33_000) < 1_000
+
+    def test_overhead_is_fraction_of_base_core(self):
+        fraction = AreaModel(32).overhead_fraction()
+        assert 0.25 < fraction < 0.40  # "acceptable as an accelerator"
+
+
+class TestAreaScaling:
+    def test_storage_scales_with_p(self):
+        small = AreaModel(8).breakdown()
+        large = AreaModel(128).breakdown()
+        assert large.crf == 16 * small.crf
+        assert abs(large.rom - 16 * small.rom) / large.rom < 0.002
+
+    def test_bu_is_p_independent(self):
+        assert (
+            AreaModel(8).breakdown().butterfly_unit
+            == AreaModel(128).breakdown().butterfly_unit
+        )
+
+    def test_ac_grows_slowly(self):
+        a8 = AreaModel(8).breakdown().ac_logic
+        a128 = AreaModel(128).breakdown().ac_logic
+        assert a128 < 4 * a8  # ~log^2, not linear
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            AreaModel(24)
+
+
+class TestTiming:
+    def test_bu_critical_path_is_3_2_ns(self):
+        assert abs(TimingModel(32).bu_critical_path_ns() - 3.2) < 0.05
+
+    def test_supports_300mhz(self):
+        assert TimingModel(32).max_clock_mhz() >= 300.0
+
+    def test_ac_path_negligible(self):
+        t = TimingModel(32)
+        assert t.ac_critical_path_ns() < t.bu_critical_path_ns() / 3
+
+    def test_ac_path_grows_with_p_but_stays_subcritical(self):
+        t = TimingModel(1024)
+        assert t.critical_path_ns() == t.bu_critical_path_ns()
+
+
+class TestPower:
+    def test_bu_ac_power_within_five_percent(self):
+        power = PowerModel(AreaModel(32)).breakdown().bu_ac
+        assert abs(power - 17.68) / 17.68 < 0.05
+
+    def test_power_scales_with_clock(self):
+        slow = PowerModel(AreaModel(32), clock_mhz=150).breakdown().bu_ac
+        fast = PowerModel(AreaModel(32), clock_mhz=300).breakdown().bu_ac
+        assert abs(fast - 2 * slow) < 1e-9
+
+    def test_storage_power_is_minor(self):
+        breakdown = PowerModel(AreaModel(32)).breakdown()
+        assert breakdown.crf + breakdown.rom < breakdown.bu_ac / 2
+
+
+class TestReport:
+    def test_rows_cover_all_published_metrics(self):
+        report = hardware_report(32)
+        metrics = {row[0] for row in report.rows()}
+        assert "BU + AC gates" in metrics
+        assert "BU + AC power (mW)" in metrics
+        assert len(report.rows()) == 6
+
+    def test_every_row_within_ten_percent_of_paper(self):
+        for name, modelled, paper in hardware_report(32).rows():
+            assert abs(modelled - paper) / paper < 0.10, name

@@ -1,0 +1,61 @@
+"""The interleaved-group executor (temporal-parallel variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.interleaved import InterleavedArrayFFT
+
+
+def random_vector(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestInterleavedExecution:
+    @pytest.mark.parametrize("n", [16, 64, 128, 256])
+    @pytest.mark.parametrize("ways", [1, 2, 4])
+    def test_matches_numpy(self, n, ways):
+        x = random_vector(n, n + ways)
+        engine = InterleavedArrayFFT(n, ways=ways)
+        assert np.allclose(engine.transform(x), np.fft.fft(x),
+                           atol=1e-9 * n)
+
+    def test_one_way_equals_baseline_engine(self):
+        from repro.core import ArrayFFT
+
+        x = random_vector(64, 3)
+        assert np.allclose(
+            InterleavedArrayFFT(64, ways=1).transform(x),
+            ArrayFFT(64).transform(x),
+        )
+
+    def test_crf_requirement_scales_with_ways(self):
+        assert InterleavedArrayFFT(1024, ways=1).crf_entries_required == 32
+        assert InterleavedArrayFFT(1024, ways=4).crf_entries_required == 128
+
+    def test_executed_ops_follow_interleaved_schedule(self):
+        from repro.core.schedule import interleaved_schedule
+
+        engine = InterleavedArrayFFT(64, ways=2)
+        engine.transform(random_vector(64, 1))
+        expected = list(interleaved_schedule(engine.plan, 2))
+        assert engine.executed_ops == expected
+
+    def test_rejects_bad_ways(self):
+        with pytest.raises(ValueError):
+            InterleavedArrayFFT(64, ways=0)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            InterleavedArrayFFT(64).transform(np.zeros(16))
+
+
+class TestAreaTrade:
+    def test_interleaving_costs_crf_gates(self):
+        """The ablation story: ways=2 doubles the register file the
+        paper sized at ~13K gates for P=32."""
+        from repro.hw import AreaModel
+
+        base = AreaModel(32).breakdown().crf
+        doubled = AreaModel(64).breakdown().crf  # 2x entries
+        assert doubled == 2 * base

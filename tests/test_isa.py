@@ -1,0 +1,128 @@
+"""ISA layer: instruction objects, encoding round-trips, registers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    BRANCH_OPCODES,
+    CUSTOM_OPCODES,
+    Format,
+    Instruction,
+    Opcode,
+    decode,
+    encode,
+    encode_program,
+    name_to_number,
+    number_to_name,
+)
+from repro.isa.disassembler import round_trip
+from repro.isa.instructions import OPCODE_FORMAT
+
+
+class TestRegisters:
+    def test_plain_names(self):
+        assert name_to_number("r0") == 0
+        assert name_to_number("R31") == 31
+
+    def test_aliases(self):
+        assert name_to_number("zero") == 0
+        assert name_to_number("$sp") == 29
+        assert name_to_number("ra") == 31
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            name_to_number("r32")
+        with pytest.raises(ValueError):
+            name_to_number("bogus")
+
+    def test_number_to_name(self):
+        assert number_to_name(0) == "zero"
+        with pytest.raises(ValueError):
+            number_to_name(32)
+
+
+class TestInstruction:
+    def test_every_opcode_has_a_format(self):
+        assert set(OPCODE_FORMAT) == set(Opcode)
+
+    def test_register_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(opcode=Opcode.ADD, rd=32)
+
+    def test_custom_set(self):
+        assert Opcode.BUT4 in CUSTOM_OPCODES
+        assert Instruction(opcode=Opcode.LDIN).is_custom
+        assert not Instruction(opcode=Opcode.ADD).is_custom
+
+    def test_str_forms(self):
+        assert str(Instruction(opcode=Opcode.NOP)) == "nop"
+        lw = Instruction(opcode=Opcode.LW, rt=5, rs=2, imm=-4)
+        assert str(lw) == "lw r5, -4(r2)"
+        add = Instruction(opcode=Opcode.ADD, rd=1, rs=2, rt=3)
+        assert str(add) == "add r1, r2, r3"
+        jr = Instruction(opcode=Opcode.JR, rs=31)
+        assert str(jr) == "jr r31"
+
+
+def _random_instruction(draw):
+    opcode = draw(st.sampled_from(list(Opcode)))
+    fmt = OPCODE_FORMAT[opcode]
+    reg = st.integers(0, 31)
+    if fmt is Format.NONE:
+        return Instruction(opcode=opcode)
+    if fmt is Format.J:
+        return Instruction(opcode=opcode, imm=draw(st.integers(0, 100_000)))
+    if fmt is Format.R:
+        return Instruction(
+            opcode=opcode, rd=draw(reg), rs=draw(reg), rt=draw(reg)
+        )
+    if opcode in BRANCH_OPCODES:
+        imm = draw(st.integers(0, 30_000))
+    else:
+        imm = draw(st.integers(-32768, 32767))
+    return Instruction(opcode=opcode, rs=draw(reg), rt=draw(reg), imm=imm)
+
+
+class TestEncoding:
+    @given(st.data())
+    def test_round_trip(self, data):
+        instr = _random_instruction(data.draw)
+        index = data.draw(st.integers(0, 1000))
+        back = round_trip(instr, index)
+        assert back.opcode == instr.opcode
+        fmt = instr.format
+        if fmt is Format.R:
+            assert (back.rd, back.rs, back.rt) == (
+                instr.rd, instr.rs, instr.rt
+            )
+        elif fmt is Format.I:
+            assert (back.rs, back.rt, back.imm) == (
+                instr.rs, instr.rt, instr.imm
+            )
+        elif fmt is Format.J:
+            assert back.imm == instr.imm
+
+    def test_words_are_32_bit(self):
+        instr = Instruction(opcode=Opcode.ADDI, rt=1, rs=2, imm=-1)
+        word = encode(instr)
+        assert 0 <= word < (1 << 32)
+
+    def test_branch_offsets_are_pc_relative(self):
+        # a branch at index 10 targeting 8 encodes a negative offset
+        br = Instruction(opcode=Opcode.BNE, rs=1, rt=0, imm=8)
+        word = encode(br, index=10)
+        assert (word & 0xFFFF) == 0xFFFD  # -3
+        assert decode(word, index=10).imm == 8
+
+    def test_oversized_immediate_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(opcode=Opcode.ADDI, rt=1, imm=70_000))
+
+    def test_encode_program(self):
+        from repro.isa import ProgramBuilder
+
+        b = ProgramBuilder()
+        b.li(1, 5)
+        b.halt()
+        words = encode_program(b.build())
+        assert len(words) == 2

@@ -1,0 +1,84 @@
+"""Local address-changing rule L_j and the Fig. 2 walkthrough."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.addressing.bitops import bit_reverse
+from repro.addressing.local import (
+    final_bit_reverse,
+    local_permutation,
+    local_switch,
+    stage_input_addresses,
+)
+
+
+class TestFig2Example:
+    """The paper's 8-point example: def -> edf -> efd."""
+
+    def test_stage1_is_natural(self):
+        assert stage_input_addresses(3, 1) == list(range(8))
+
+    def test_stage2_is_edf(self):
+        # position bits (d,e,f) read address (e,d,f)
+        expected = [
+            ((r >> 1) & 1) << 2 | ((r >> 2) & 1) << 1 | (r & 1)
+            for r in range(8)
+        ]
+        assert stage_input_addresses(3, 2) == expected
+
+    def test_stage3_is_efd(self):
+        # position bits (d,e,f) read address (e,f,d) — a left rotation
+        expected = [
+            ((r >> 1) & 1) << 2 | (r & 1) << 1 | ((r >> 2) & 1)
+            for r in range(8)
+        ]
+        assert stage_input_addresses(3, 3) == expected
+
+    def test_final_r_step_is_full_reversal(self):
+        assert final_bit_reverse(3) == [
+            bit_reverse(r, 3) for r in range(8)
+        ]
+
+
+class TestLocalSwitch:
+    def test_rejects_stage_one(self):
+        with pytest.raises(ValueError):
+            local_switch(0, 3, 1)
+
+    def test_rejects_stage_beyond_p(self):
+        with pytest.raises(ValueError):
+            local_switch(0, 3, 4)
+
+    @given(st.integers(2, 8), st.data())
+    def test_is_involution(self, p, data):
+        stage = data.draw(st.integers(2, p))
+        addr = data.draw(st.integers(0, (1 << p) - 1))
+        once = local_switch(addr, p, stage)
+        assert local_switch(once, p, stage) == addr
+
+    @given(st.integers(2, 8), st.data())
+    def test_permutation(self, p, data):
+        stage = data.draw(st.integers(2, p))
+        perm = local_permutation(p, stage)
+        assert sorted(perm) == list(range(1 << p))
+
+
+class TestStageInputAddresses:
+    @given(st.integers(1, 8), st.data())
+    def test_always_a_permutation(self, p, data):
+        stage = data.draw(st.integers(1, p))
+        addrs = stage_input_addresses(p, stage)
+        assert sorted(addrs) == list(range(1 << p))
+
+    @given(st.integers(2, 8), st.data())
+    def test_accumulates_one_switch_per_stage(self, p, data):
+        stage = data.draw(st.integers(2, p))
+        previous = stage_input_addresses(p, stage - 1)
+        current = stage_input_addresses(p, stage)
+        assert current == [local_switch(a, p, stage) for a in previous]
+
+    def test_stage_bounds(self):
+        with pytest.raises(ValueError):
+            stage_input_addresses(3, 0)
+        with pytest.raises(ValueError):
+            stage_input_addresses(3, 4)

@@ -1,0 +1,205 @@
+"""The base scalar core: functional semantics and timing behaviours."""
+
+import pytest
+
+from repro.isa import Opcode, ProgramBuilder, assemble
+from repro.sim import (
+    CacheConfig,
+    Machine,
+    MainMemory,
+    PipelineConfig,
+    RunawayProgram,
+    UnsupportedInstruction,
+)
+
+
+def make_machine(**kwargs):
+    return Machine(MainMemory(1024), **kwargs)
+
+
+def run_source(source, machine=None):
+    machine = machine or make_machine()
+    stats = machine.run(assemble(source))
+    return machine, stats
+
+
+class TestAluSemantics:
+    def test_arithmetic(self):
+        m, _ = run_source("""
+            li r1, 6
+            li r2, 7
+            mul r3, r1, r2
+            sub r4, r3, r1
+            halt
+        """)
+        assert m.read_reg(3) == 42
+        assert m.read_reg(4) == 36
+
+    def test_logic_and_shifts(self):
+        m, _ = run_source("""
+            li r1, 0b1100
+            andi r2, r1, 0b1010
+            ori  r3, r1, 0b0011
+            xori r4, r1, 0b1111
+            sll  r5, r1, 2
+            srl  r6, r1, 2
+            halt
+        """)
+        assert m.read_reg(2) == 0b1000
+        assert m.read_reg(3) == 0b1111
+        assert m.read_reg(4) == 0b0011
+        assert m.read_reg(5) == 0b110000
+        assert m.read_reg(6) == 0b11
+
+    def test_sra_sign_extends(self):
+        m, _ = run_source("li r1, -8\nsra r2, r1, 1\nhalt")
+        assert m.read_reg(2) == -4
+
+    def test_slt(self):
+        m, _ = run_source("li r1, -1\nslt r2, r1, r0\nslti r3, r1, -5\nhalt")
+        assert m.read_reg(2) == 1
+        assert m.read_reg(3) == 0
+
+    def test_r0_is_hardwired_zero(self):
+        m, _ = run_source("addi r0, r0, 99\nhalt")
+        assert m.read_reg(0) == 0
+
+    def test_32bit_wraparound(self):
+        m, _ = run_source("""
+            lui r1, 0x7fff
+            ori r1, r1, 0xffff
+            addi r1, r1, 1
+            halt
+        """)
+        assert m.read_reg(1) == -(2 ** 31)
+
+    def test_mulh(self):
+        m, _ = run_source("""
+            lui r1, 0x4000
+            lui r2, 0x0004
+            mulh r3, r1, r2
+            halt
+        """)
+        assert m.read_reg(3) == (0x40000000 * 0x40000) >> 32
+
+
+class TestControlFlow:
+    def test_countdown_loop(self):
+        m, stats = run_source("""
+            li r1, 5
+            li r2, 0
+        loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        assert m.read_reg(2) == 15
+        assert stats.taken_branches == 4
+
+    def test_jal_jr(self):
+        m, _ = run_source("""
+            jal sub
+            halt
+        sub:
+            li r2, 42
+            jr ra
+        """)
+        assert m.read_reg(2) == 42
+
+    def test_bge_blt(self):
+        m, _ = run_source("""
+            li r1, 3
+            bge r1, r0, a
+            li r2, 111
+        a:  blt r0, r1, b
+            li r3, 222
+        b:  halt
+        """)
+        assert m.read_reg(2) == 0
+        assert m.read_reg(3) == 0
+
+
+class TestMemoryAndCache:
+    def test_load_store(self):
+        m, stats = run_source("""
+            li r1, 77
+            sw r1, 100(r0)
+            lw r2, 100(r0)
+            halt
+        """)
+        assert m.read_reg(2) == 77
+        assert stats.loads == 1
+        assert stats.stores == 1
+
+    def test_miss_counting(self):
+        _, stats = run_source("""
+            lw r1, 0(r0)
+            lw r2, 0(r0)
+            lw r3, 256(r0)
+            halt
+        """)
+        assert stats.dcache_misses == 2  # cold, hit, new line
+        assert stats.dcache_hits == 1
+
+    def test_miss_penalty_charged_when_enabled(self):
+        source = "lw r1, 0(r0)\nhalt"
+        _, free = run_source(source, make_machine())
+        _, charged = run_source(
+            source, make_machine(charge_cache_latency=True)
+        )
+        penalty = CacheConfig().miss_penalty
+        assert charged.cycles == free.cycles + penalty
+
+    def test_no_cache_mode(self):
+        _, stats = run_source(
+            "lw r1, 0(r0)\nhalt", make_machine(use_cache=False)
+        )
+        assert stats.dcache_misses == 0
+
+
+class TestTimingModel:
+    def test_load_use_stall(self):
+        no_stall = run_source("lw r1, 0(r0)\nnop\nadd r2, r1, r1\nhalt")[1]
+        stall = run_source("lw r1, 0(r0)\nadd r2, r1, r1\nnop\nhalt")[1]
+        assert stall.cycles == no_stall.cycles + 1
+        assert stall.stall_cycles == 1
+
+    def test_taken_branch_penalty(self):
+        taken = run_source("li r1, 1\nbne r1, r0, 3\nnop\nhalt")[1]
+        fallthrough = run_source("li r1, 0\nbne r1, r0, 3\nnop\nhalt")[1]
+        penalty = PipelineConfig().branch_penalty
+        assert taken.cycles == fallthrough.cycles + penalty - 1
+        # (-1: the taken path skips the nop)
+
+    def test_mul_extra_cycle(self):
+        add = run_source("add r1, r0, r0\nhalt")[1]
+        mul = run_source("mul r1, r0, r0\nhalt")[1]
+        assert mul.cycles == add.cycles + PipelineConfig().mul_extra
+
+
+class TestGuards:
+    def test_runaway_protection(self):
+        machine = Machine(MainMemory(64), max_instructions=100)
+        with pytest.raises(RunawayProgram):
+            machine.run(assemble("loop: j loop"))
+
+    def test_custom_ops_unsupported_on_base_core(self):
+        with pytest.raises(UnsupportedInstruction):
+            run_source("but4 r1, r2\nhalt")
+
+    def test_pc_out_of_range(self):
+        from repro.sim.errors import SimulationError
+
+        b = ProgramBuilder()
+        b.emit(Opcode.J, imm=50)
+        with pytest.raises(SimulationError):
+            make_machine().run(b.build())
+
+    def test_float_values_flow_through_alu(self):
+        machine = make_machine()
+        machine.memory.write_word(10, 2.5)
+        _, stats = run_source(
+            "lw r1, 10(r0)\nnop\nmul r2, r1, r1\nhalt", machine
+        )
+        assert machine.read_reg(2) == 6.25

@@ -1,0 +1,118 @@
+"""The Fig. 3 matrix formulation, executed: the proof as tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing.bitops import bit_reverse
+from repro.addressing.global_rule import column_labels, global_permutation
+from repro.addressing.matrices import (
+    dft_matrix,
+    gather_matrix,
+    global_matrix,
+    is_butterfly_stage,
+    machine_matrix,
+    module_matrix,
+    original_stage_matrix,
+    permutation_matrix,
+    verify_stage_identity,
+)
+
+PS = st.integers(2, 6)
+
+
+class TestMachineEqualsDFT:
+    """The central correctness claim: the address-changed fixed-module
+    pipeline computes the natural-order DFT."""
+
+    @given(PS)
+    @settings(deadline=None, max_examples=5)
+    def test_machine_matrix_is_dft(self, p):
+        assert np.allclose(machine_matrix(p), dft_matrix(1 << p))
+
+    def test_large_case(self):
+        assert np.allclose(machine_matrix(7), dft_matrix(128))
+
+
+class TestStageIdentity:
+    """P_{j+1} B_j = L_{j+1} A_j P_j for every stage (Fig. 3)."""
+
+    @given(PS, st.data())
+    @settings(deadline=None, max_examples=15)
+    def test_identity_holds(self, p, data):
+        stage = data.draw(st.integers(1, p))
+        assert verify_stage_identity(p, stage)
+
+    @given(PS, st.data())
+    @settings(deadline=None, max_examples=15)
+    def test_derived_b_is_inplace_butterfly(self, p, data):
+        stage = data.draw(st.integers(1, p))
+        b = original_stage_matrix(p, stage)
+        assert is_butterfly_stage(b) == (1 << (p - stage))
+
+
+class TestGlobalPermutation:
+    @given(PS, st.data())
+    @settings(deadline=None, max_examples=15)
+    def test_is_permutation(self, p, data):
+        stage = data.draw(st.integers(1, p + 1))
+        perm = global_permutation(p, stage)
+        assert sorted(perm) == list(range(1 << p))
+
+    @given(PS)
+    @settings(deadline=None, max_examples=5)
+    def test_stage_one_is_identity(self, p):
+        assert global_permutation(p, 1) == list(range(1 << p))
+
+    @given(PS)
+    @settings(deadline=None, max_examples=5)
+    def test_final_stage_is_bit_reverse(self, p):
+        assert global_permutation(p, p + 1) == [
+            bit_reverse(u, p) for u in range(1 << p)
+        ]
+
+    @given(PS, st.data())
+    @settings(deadline=None, max_examples=15)
+    def test_pairs_differ_in_stage_bit(self, p, data):
+        """The invariant that *is* the AC rule's correctness: stage j's
+        module combines labels differing exactly in bit p - j."""
+        stage = data.draw(st.integers(1, p))
+        labels = column_labels(p, stage)
+        half = (1 << p) // 2
+        for m in range(half):
+            assert labels[m] ^ labels[m + half] == 1 << (p - stage)
+
+    def test_stage_bounds(self):
+        with pytest.raises(ValueError):
+            global_permutation(3, 0)
+        with pytest.raises(ValueError):
+            global_permutation(3, 5)
+
+
+class TestOperators:
+    def test_permutation_matrix_semantics(self):
+        mat = permutation_matrix([2, 0, 1])
+        x = np.array([10.0, 20.0, 30.0])
+        assert np.allclose(mat @ x, [30.0, 10.0, 20.0])
+
+    def test_gather_matrix_is_orthogonal(self):
+        g = gather_matrix(4, 3)
+        assert np.allclose(g @ g.T, np.eye(16))
+
+    def test_module_matrix_row_structure(self):
+        a = module_matrix(3, 2)
+        # every row of the fixed module touches exactly two columns
+        for row in np.abs(a) > 1e-12:
+            assert row.sum() == 2
+
+    def test_is_butterfly_stage_rejects_dense(self):
+        assert is_butterfly_stage(dft_matrix(4)) is None
+
+    def test_is_butterfly_stage_rejects_non_inplace(self):
+        # rows read the right pairs but land in the wrong places
+        mat = np.zeros((4, 4))
+        mat[0, 0] = mat[0, 2] = 1
+        mat[1, 0] = mat[1, 2] = 1
+        mat[2, 1] = mat[2, 3] = 1
+        mat[3, 1] = mat[3, 3] = 1
+        assert is_butterfly_stage(mat) is None

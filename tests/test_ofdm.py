@@ -1,0 +1,146 @@
+"""OFDM substrate: constellations, channels, and the ASIP-backed link."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ofdm import (
+    CONSTELLATIONS,
+    MultipathChannel,
+    OfdmLink,
+    awgn,
+    demodulate,
+    modulate,
+)
+
+SCHEMES = ["bpsk", "qpsk", "16qam", "64qam"]
+
+
+class TestConstellations:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_unit_average_power(self, scheme):
+        points = CONSTELLATIONS[scheme].points
+        assert np.isclose(np.mean(np.abs(points) ** 2), 1.0)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_map_unmap_roundtrip(self, scheme):
+        c = CONSTELLATIONS[scheme]
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=c.bits_per_symbol * 50)
+        assert np.array_equal(c.unmap_symbols(c.map_bits(bits)), bits)
+
+    def test_gray_neighbours_differ_in_one_bit(self):
+        """Adjacent 16-QAM points along one axis differ in one bit."""
+        c = CONSTELLATIONS["16qam"]
+        reals = sorted(set(np.round(c.points.real, 6)))
+        for a, b in zip(reals, reals[1:]):
+            pa = [p for p in range(16) if np.isclose(c.points[p].real, a)
+                  and np.isclose(c.points[p].imag, reals[0])]
+            pb = [p for p in range(16) if np.isclose(c.points[p].real, b)
+                  and np.isclose(c.points[p].imag, reals[0])]
+            assert bin(pa[0] ^ pb[0]).count("1") == 1
+
+    def test_bit_count_validated(self):
+        with pytest.raises(ValueError):
+            modulate([0, 1, 1], scheme="qpsk")
+
+    def test_module_level_helpers(self):
+        bits = np.array([0, 1, 1, 0])
+        assert np.array_equal(demodulate(modulate(bits)), bits)
+
+
+class TestChannel:
+    def test_awgn_snr_accuracy(self):
+        rng = np.random.default_rng(0)
+        signal = np.ones(200_00, dtype=complex)
+        noisy = awgn(signal, snr_db=10.0, rng=rng)
+        measured = np.mean(np.abs(noisy - signal) ** 2)
+        assert abs(10 * np.log10(1.0 / measured) - 10.0) < 0.3
+
+    def test_awgn_zero_signal(self):
+        out = awgn(np.zeros(8), 10.0)
+        assert np.allclose(out, 0)
+
+    def test_multipath_is_circular_convolution(self):
+        channel = MultipathChannel([1.0, 0.5])
+        x = np.array([1.0, 0, 0, 0], dtype=complex)
+        out = channel.apply(x)
+        assert np.allclose(out, [1.0, 0.5, 0, 0])
+
+    def test_frequency_response_matches_apply(self):
+        rng = np.random.default_rng(5)
+        channel = MultipathChannel.exponential_profile(4, rng=rng)
+        x = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        via_time = np.fft.fft(channel.apply(x))
+        via_freq = np.fft.fft(x) * channel.frequency_response(32)
+        assert np.allclose(via_time, via_freq)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultipathChannel([])
+        with pytest.raises(ValueError):
+            MultipathChannel(np.ones(16)).apply(np.ones(8))
+
+    def test_exponential_profile_normalised(self):
+        channel = MultipathChannel.exponential_profile(
+            5, rng=np.random.default_rng(1)
+        )
+        assert np.isclose(np.linalg.norm(channel.taps), 1.0)
+
+
+class TestLink:
+    def test_clean_channel_zero_errors(self):
+        link = OfdmLink(64, scheme="qpsk", snr_db=40.0, seed=1)
+        result = link.run_symbol()
+        assert result.bit_errors == 0
+        assert result.fft_cycles == 0  # algorithm engine
+
+    def test_asip_backed_receiver(self):
+        link = OfdmLink(64, scheme="qpsk", snr_db=35.0,
+                        use_asip=True, seed=2)
+        result = link.run_symbol()
+        assert result.bit_errors == 0
+        assert result.fft_cycles > 0
+
+    def test_multipath_with_equalisation(self):
+        channel = MultipathChannel.exponential_profile(
+            3, rng=np.random.default_rng(9)
+        )
+        link = OfdmLink(128, scheme="qpsk", channel=channel,
+                        snr_db=35.0, seed=3)
+        assert link.run_symbol().bit_errors == 0
+
+    def test_ber_degrades_with_snr(self):
+        low = OfdmLink(64, scheme="16qam", snr_db=5.0, seed=4)
+        high = OfdmLink(64, scheme="16qam", snr_db=30.0, seed=4)
+        assert low.measure_ber(5) > high.measure_ber(5)
+
+    def test_higher_order_needs_more_snr(self):
+        qpsk = OfdmLink(64, scheme="qpsk", snr_db=12.0, seed=5)
+        qam64 = OfdmLink(64, scheme="64qam", snr_db=12.0, seed=5)
+        assert qam64.measure_ber(5) > qpsk.measure_ber(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OfdmLink(64, scheme="8psk")
+        with pytest.raises(ValueError):
+            OfdmLink(64).measure_ber(0)
+
+
+class TestInverseTransform:
+    def test_array_fft_inverse_roundtrip(self):
+        from repro.core import ArrayFFT
+
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        engine = ArrayFFT(64)
+        assert np.allclose(engine.inverse(engine.transform(x)), x)
+
+    def test_inverse_matches_numpy(self):
+        from repro.core import ArrayFFT
+
+        rng = np.random.default_rng(7)
+        spectrum = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        assert np.allclose(
+            ArrayFFT(128).inverse(spectrum), np.fft.ifft(spectrum)
+        )

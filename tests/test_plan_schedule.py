@@ -1,0 +1,124 @@
+"""Execution plans and BU scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan import build_plan
+from repro.core.schedule import (
+    BUOp,
+    horizontal_schedule,
+    interleaved_schedule,
+)
+
+SIZES = st.sampled_from([8, 16, 64, 128, 256, 1024])
+
+
+class TestPlan:
+    def test_1024_structure(self):
+        plan = build_plan(1024)
+        assert plan.split.P == 32 and plan.split.Q == 32
+        assert plan.crf_entries == 32
+        e0, e1 = plan.epochs
+        assert e0.group_count == 32 and e0.group_size == 32
+        assert e0.stage_count == 5
+        assert e0.stages[0].modules == 4
+
+    def test_counts_match_paper_formulas(self):
+        """LDIN repeats N times total; BUT4 = N*log2(N)/8."""
+        plan = build_plan(1024)
+        assert plan.total_ldin == 1024
+        assert plan.total_stout == 1024
+        assert plan.total_but4 == 1024 * 10 // 8
+
+    @given(SIZES)
+    def test_but4_count_any_size(self, n):
+        plan = build_plan(n)
+        stages = n.bit_length() - 1
+        # one butterfly per 2 points per stage, 4 per BUT4 (capped below 8)
+        expected = sum(
+            e.group_count * e.stage_count
+            * max(e.group_size // 8, 1)
+            for e in plan.epochs
+        )
+        assert plan.total_but4 == expected
+        if n >= 64:
+            assert plan.total_but4 == n * stages // 8
+
+    @given(SIZES)
+    def test_stage_tables_are_permutations(self, n):
+        plan = build_plan(n)
+        for epoch in plan.epochs:
+            for stage in epoch.stages:
+                assert sorted(stage.read_addresses) == list(
+                    range(epoch.group_size)
+                )
+                assert len(stage.coefficient_indices) == (
+                    epoch.group_size // 2
+                )
+
+    def test_plan_size_mismatch(self):
+        from repro.addressing.epoch import split_epochs
+
+        with pytest.raises(ValueError):
+            build_plan(64, split_epochs(128))
+
+
+class TestHorizontalSchedule:
+    def test_covers_every_op_once(self):
+        plan = build_plan(64)
+        ops = list(horizontal_schedule(plan))
+        assert len(ops) == plan.total_but4
+        assert len(set(ops)) == len(ops)
+
+    def test_order_is_stages_within_group(self):
+        plan = build_plan(64)
+        ops = list(horizontal_schedule(plan))
+        first_group = [op for op in ops if op.epoch == 0 and op.group == 0]
+        assert [op.stage for op in first_group] == [1, 2, 3]
+        # group 0 completes before group 1 starts
+        idx_g0 = max(
+            i for i, op in enumerate(ops)
+            if op.epoch == 0 and op.group == 0
+        )
+        idx_g1 = min(
+            i for i, op in enumerate(ops)
+            if op.epoch == 0 and op.group == 1
+        )
+        assert idx_g0 < idx_g1
+
+    def test_epoch0_before_epoch1(self):
+        ops = list(horizontal_schedule(build_plan(256)))
+        switch = [op.epoch for op in ops]
+        assert switch == sorted(switch)
+
+
+class TestInterleavedSchedule:
+    def test_same_op_set_as_horizontal(self):
+        plan = build_plan(64)
+        assert set(interleaved_schedule(plan, ways=2)) == set(
+            horizontal_schedule(plan)
+        )
+
+    def test_two_way_interleaves_stages(self):
+        plan = build_plan(64)
+        ops = list(interleaved_schedule(plan, ways=2))
+        # within the first bundle, stage 1 of groups 0 and 1 precede
+        # stage 2 of group 0
+        s1g1 = min(
+            i for i, op in enumerate(ops)
+            if (op.epoch, op.group, op.stage) == (0, 1, 1)
+        )
+        s2g0 = min(
+            i for i, op in enumerate(ops)
+            if (op.epoch, op.group, op.stage) == (0, 0, 2)
+        )
+        assert s1g1 < s2g0
+
+    def test_rejects_bad_ways(self):
+        with pytest.raises(ValueError):
+            list(interleaved_schedule(build_plan(64), ways=0))
+
+    def test_buop_is_hashable_value_object(self):
+        a = BUOp(epoch=0, group=1, stage=2, module=3)
+        b = BUOp(epoch=0, group=1, stage=2, module=3)
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,103 @@
+"""Reference FFT algorithms against numpy and each other."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fft import (
+    bit_reversed_indices,
+    fft_dif,
+    fft_dit,
+    ifft,
+    load_store_count,
+    naive_dft,
+    twiddle,
+    twiddles,
+)
+
+SIZES = st.sampled_from([2, 4, 8, 16, 32, 64, 128])
+
+
+def random_vector(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestAgainstNumpy:
+    @given(SIZES, st.integers(0, 1000))
+    @settings(deadline=None, max_examples=30)
+    def test_dit(self, n, seed):
+        x = random_vector(n, seed)
+        assert np.allclose(fft_dit(x), np.fft.fft(x))
+
+    @given(SIZES, st.integers(0, 1000))
+    @settings(deadline=None, max_examples=30)
+    def test_dif(self, n, seed):
+        x = random_vector(n, seed)
+        assert np.allclose(fft_dif(x), np.fft.fft(x))
+
+    @given(st.sampled_from([2, 4, 8, 16, 32]), st.integers(0, 1000))
+    @settings(deadline=None, max_examples=20)
+    def test_naive_dft(self, n, seed):
+        x = random_vector(n, seed)
+        assert np.allclose(naive_dft(x), np.fft.fft(x))
+
+    @given(SIZES, st.integers(0, 1000))
+    @settings(deadline=None, max_examples=20)
+    def test_ifft_roundtrip(self, n, seed):
+        x = random_vector(n, seed)
+        assert np.allclose(ifft(fft_dit(x)), x)
+
+
+class TestAnalyticalCases:
+    def test_impulse_gives_flat_spectrum(self):
+        x = np.zeros(16, dtype=complex)
+        x[0] = 1.0
+        assert np.allclose(fft_dit(x), np.ones(16))
+
+    def test_dc_gives_impulse(self):
+        x = np.ones(16, dtype=complex)
+        expected = np.zeros(16, dtype=complex)
+        expected[0] = 16.0
+        assert np.allclose(fft_dit(x), expected)
+
+    def test_single_tone(self):
+        n, k = 32, 5
+        x = np.exp(2j * np.pi * k * np.arange(n) / n)
+        spectrum = fft_dif(x)
+        assert abs(spectrum[k] - n) < 1e-9
+        others = np.delete(spectrum, k)
+        assert np.max(np.abs(others)) < 1e-9
+
+    def test_linearity(self):
+        x = random_vector(64, 1)
+        y = random_vector(64, 2)
+        assert np.allclose(
+            fft_dit(2 * x + 3j * y), 2 * fft_dit(x) + 3j * fft_dit(y)
+        )
+
+    def test_parseval(self):
+        x = random_vector(128, 3)
+        spectrum = fft_dit(x)
+        assert np.isclose(
+            np.sum(np.abs(x) ** 2), np.sum(np.abs(spectrum) ** 2) / 128
+        )
+
+
+class TestHelpers:
+    def test_twiddles_count_default(self):
+        assert len(twiddles(16)) == 8
+
+    def test_twiddle_wraps(self):
+        assert np.isclose(twiddle(8, 9), twiddle(8, 1))
+
+    def test_bit_reversed_indices_is_permutation(self):
+        idx = bit_reversed_indices(64)
+        assert sorted(idx) == list(range(64))
+
+    def test_load_store_count(self):
+        assert load_store_count(1024) == 2 * 1024 * 10
+
+    def test_rejects_non_power_sizes(self):
+        with pytest.raises(ValueError):
+            fft_dit(np.zeros(12))
