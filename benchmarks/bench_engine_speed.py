@@ -1,0 +1,147 @@
+"""Engine-speed benchmark: compiled/vectorized paths vs the oracle paths.
+
+Times the three hot paths this repo accelerates and asserts the speedup
+floors, so a perf regression fails the suite loudly rather than rotting
+silently:
+
+* 2048-point float ``ArrayFFT.transform``  — compiled plan vs the
+  per-butterfly oracle, floor **10x**;
+* 2048-point Q1.15 ``ArrayFFT.transform``  — vectorised int64 datapath vs
+  the ``FixedComplex`` walk (bit-identical outputs), floor **5x**;
+* 1024-point ASIP simulation (steady state) — predecoded handlers + fused
+  custom-op bursts vs the step interpreter with scalar BUT4, floor **3x**.
+
+The measured trajectory (N = 256 .. 2048 for both ArrayFFT datapaths)
+is written to ``BENCH_engine.json`` at the repo root.
+
+Run:  pytest benchmarks/bench_engine_speed.py -s
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.asip import generate_fft_program
+from repro.asip.fft_asip import FFTASIP
+from repro.core import ArrayFFT
+
+FLOAT_FLOOR = 10.0
+FIXED_FLOOR = 5.0
+ASIP_FLOOR = 3.0
+
+SWEEP_SIZES = [256, 512, 1024, 2048]
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _vector(n, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+
+
+def _best_of(callable_, reps):
+    best = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        callable_()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best
+
+
+def _time_array_fft(n, fixed_point, reps_fast=5, reps_ref=2):
+    x = _vector(n, seed=n, scale=0.3 if fixed_point else 1.0)
+    fast = ArrayFFT(n, fixed_point=fixed_point)
+    oracle = ArrayFFT(n, fixed_point=fixed_point, compiled=False)
+    fast.transform(x)  # warm: build the compiled tables
+    t_fast = _best_of(lambda: fast.transform(x), reps_fast)
+    t_ref = _best_of(lambda: oracle.transform(x), reps_ref)
+    if fixed_point:
+        assert np.array_equal(fast.transform(x), oracle.transform(x))
+    return t_ref, t_fast
+
+
+def _time_asip(n, reps=3):
+    x = _vector(n, seed=n)
+    program = generate_fft_program(n)
+
+    fast = FFTASIP(n)
+    fast.load_input(x)
+    fast.run(program)  # warm: predecode + fuse bursts
+
+    def run_fast():
+        fast.load_input(x)
+        fast.run(program)
+
+    slow = FFTASIP(n, vectorized=False)
+    slow.load_input(x)
+    slow.run_interpreted(program)
+
+    def run_slow():
+        slow.load_input(x)
+        slow.run_interpreted(program)
+
+    t_fast = _best_of(run_fast, reps)
+    t_ref = _best_of(run_slow, reps)
+    assert fast.stats.as_dict() == slow.stats.as_dict()
+    return t_ref, t_fast
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    results = {"sweep": {}, "floors": {
+        "float": FLOAT_FLOOR, "fixed": FIXED_FLOOR, "asip": ASIP_FLOOR,
+    }}
+    for n in SWEEP_SIZES:
+        ref_f, fast_f = _time_array_fft(n, fixed_point=False)
+        ref_x, fast_x = _time_array_fft(n, fixed_point=True)
+        results["sweep"][n] = {
+            "float_reference_ms": ref_f * 1e3,
+            "float_compiled_ms": fast_f * 1e3,
+            "float_speedup": ref_f / fast_f,
+            "fixed_reference_ms": ref_x * 1e3,
+            "fixed_compiled_ms": fast_x * 1e3,
+            "fixed_speedup": ref_x / fast_x,
+        }
+    ref_a, fast_a = _time_asip(1024)
+    results["asip_1024"] = {
+        "interpreted_ms": ref_a * 1e3,
+        "predecoded_ms": fast_a * 1e3,
+        "speedup": ref_a / fast_a,
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_float_2048_speedup_floor(measurements):
+    row = measurements["sweep"][2048]
+    print(f"\nfloat 2048: {row['float_reference_ms']:.2f} ms -> "
+          f"{row['float_compiled_ms']:.3f} ms "
+          f"({row['float_speedup']:.1f}x)")
+    assert row["float_speedup"] >= FLOAT_FLOOR
+
+
+def test_fixed_2048_speedup_floor(measurements):
+    row = measurements["sweep"][2048]
+    print(f"\nfixed 2048: {row['fixed_reference_ms']:.2f} ms -> "
+          f"{row['fixed_compiled_ms']:.3f} ms "
+          f"({row['fixed_speedup']:.1f}x)")
+    assert row["fixed_speedup"] >= FIXED_FLOOR
+
+
+def test_asip_speedup_floor(measurements):
+    row = measurements["asip_1024"]
+    print(f"\nasip 1024: {row['interpreted_ms']:.2f} ms -> "
+          f"{row['predecoded_ms']:.2f} ms ({row['speedup']:.1f}x)")
+    assert row["speedup"] >= ASIP_FLOOR
+
+
+def test_trajectory_written(measurements):
+    assert RESULT_PATH.exists()
+    stored = json.loads(RESULT_PATH.read_text())
+    assert set(stored["sweep"]) == {str(n) for n in SWEEP_SIZES}
+    for row in stored["sweep"].values():
+        assert row["float_speedup"] > 1.0
+        assert row["fixed_speedup"] > 1.0

@@ -32,7 +32,25 @@ __all__ = [
     "rom_table",
     "PreRotationStore",
     "prerotation_exponent",
+    "prerotation_matrix",
 ]
+
+
+def prerotation_matrix(store, s_count: int, l_count: int) -> np.ndarray:
+    """The ``W[s, l]`` pre-rotation matrix from any weight store.
+
+    Uses the store's vectorised :meth:`PreRotationStore.weight_matrix`
+    when available; otherwise (the N < 8 fallbacks, or a fault-injected
+    replacement) walks its per-``(s, l)`` ``weight`` interface so the
+    store's behaviour — correct or deliberately broken — is honoured.
+    """
+    if hasattr(store, "weight_matrix"):
+        return store.weight_matrix(s_count, l_count)
+    return np.array(
+        [[store.weight(s, l) for l in range(l_count)]
+         for s in range(s_count)],
+        dtype=complex,
+    )
 
 
 def rom_coefficient_index(points: int, stage: int, butterfly: int) -> int:
@@ -172,9 +190,41 @@ class PreRotationStore:
         # W^{e + 3N/4} = j * W^{e}: [a, b] -> [-b, a]
         return complex(-base.imag, base.real)
 
+    def lookup_many(self, exponents) -> np.ndarray:
+        """Vectorised :meth:`lookup` over an array of exponents.
+
+        Element ``k`` is bit-identical to ``lookup(exponents[k])``: the
+        reconstruction is pure table gathers plus sign flips and
+        real/imaginary swaps, all exact in floating point.
+        """
+        e = np.asarray(exponents, dtype=np.int64) % self.n_points
+        quadrant, rem = np.divmod(e, self.n_points // 4)
+        octant, offset = np.divmod(rem, self.eighth)
+        even = octant % 2 == 0
+        stored = self.table[np.where(even, offset, self.eighth - offset)]
+        br = np.where(even, stored.real, -stored.imag)
+        bi = np.where(even, stored.imag, -stored.real)
+        # Quadrant transforms of lookup(): identity, [b,-a], [-a,-b], [-b,a].
+        out = np.empty(e.shape, dtype=complex)
+        out.real = np.choose(quadrant, (br, bi, -br, -bi))
+        out.imag = np.choose(quadrant, (bi, -br, -bi, br))
+        return out
+
     def weight(self, s: int, l: int) -> complex:
         """Pre-rotation weight ``W_N^{s l}`` for epoch-0 output (s, l)."""
         return self.lookup(prerotation_exponent(s, l, self.n_points))
+
+    def weight_matrix(self, s_count: int, l_count: int) -> np.ndarray:
+        """The full pre-rotation weight matrix ``W[s, l] = W_N^{s l}``.
+
+        Built in one vectorised gather; the compiled engine multiplies the
+        whole epoch-0 output block by this matrix at once.
+        """
+        exps = (
+            np.arange(s_count, dtype=np.int64)[:, None]
+            * np.arange(l_count, dtype=np.int64)[None, :]
+        ) % self.n_points
+        return self.lookup_many(exps)
 
     def exact(self, exponent: int) -> complex:
         """Uncompressed reference value (for verification)."""

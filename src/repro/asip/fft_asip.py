@@ -30,8 +30,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..addressing.bitops import bit_reverse, bit_width_of
-from ..addressing.coefficients import PreRotationStore
-from ..core.fixed_point import FixedPointContext, quantize
+from ..addressing.coefficients import PreRotationStore, prerotation_matrix
+from ..core.fixed_point import (
+    FixedComplex,
+    FixedPointContext,
+    fixed_to_complex_array,
+    quantize,
+    quantize_array,
+)
 from ..core.plan import ArrayFFTPlan, build_plan
 from ..isa.instructions import Instruction, Opcode
 from ..sim.ac_logic import AddressChangingLogic
@@ -68,6 +74,21 @@ class _QuantizedButterflyArithmetic:
         )
         return s.to_complex(), d.to_complex()
 
+    def butterfly_column(self, a, b, w) -> np.ndarray:
+        """Vectorised lanes: returns the concatenated (sums, diffs) column.
+
+        Bit-identical to running :meth:`butterfly` per lane — the array
+        ops quantise, butterfly and back-convert through the same Q1.15
+        grid and accumulate the same overflow counts.
+        """
+        ar, ai = quantize_array(a)
+        br, bi = quantize_array(b)
+        wr, wi = quantize_array(w)
+        sr, si, dr, di = self.context.butterfly_arrays(ar, ai, br, bi, wr, wi)
+        return fixed_to_complex_array(
+            np.concatenate((sr, dr)), np.concatenate((si, di))
+        )
+
 
 class FFTASIP(Machine):
     """The paper's processor: PISA-like core with the FFT extension.
@@ -81,11 +102,16 @@ class FFTASIP(Machine):
     fixed_point:
         Selects the bit-true Q1.15 datapath (with per-stage scaling) or
         the idealised float datapath.
+    vectorized:
+        When True (default), BUT4 runs through the whole-column fast path
+        (cached AC index arrays, one CRF gather/scatter per op).  False
+        keeps the scalar per-lane walk — the oracle the fast path is
+        tested against, and the seed-equivalent benchmark baseline.
     """
 
     def __init__(self, n_points: int, cache_config: CacheConfig = None,
                  pipeline: PipelineConfig = None, fixed_point: bool = False,
-                 memory_words: int = None):
+                 memory_words: int = None, vectorized: bool = True):
         plan = build_plan(n_points)
         words = memory_words or max(4 * n_points, 4096)
         super().__init__(
@@ -96,6 +122,7 @@ class FFTASIP(Machine):
         self.plan: ArrayFFTPlan = plan
         self.n_points = n_points
         self.fixed_point = fixed_point
+        self.vectorized = vectorized
         self.fx = FixedPointContext() if fixed_point else None
         arithmetic = _QuantizedButterflyArithmetic(self.fx) if fixed_point else None
         self.crf = CustomRegisterFile(plan.crf_entries)
@@ -106,10 +133,20 @@ class FFTASIP(Machine):
             PreRotationStore(n_points) if n_points >= 8
             else _SmallPreRotation(n_points)
         )
+        # Pre-rotation weights flattened over the scratch layout (rel =
+        # s*Q + l), built lazily on first use with the vectorised
+        # symmetry reconstruction so STOUT's per-point lookup is a single
+        # array index.  Values are bit-identical to per-(s, l)
+        # ``prerotation.weight`` calls, and the lazy build keeps the
+        # fault-injection seam: replacing ``self.prerotation`` before the
+        # first run is honoured, as with ArrayFFT's compiled engine.
+        self._prerot_flat = None
+        self._prerot_fx = None
         self.input_base = 0
         self.scratch_base = n_points
         self.output_base = 2 * n_points
         self._configured_group_size = None
+        self._modules_per_stage = None
         # Hardware address sequencers for LDIN / STOUT: within-group point
         # count and the latched group start address (Section III-A: the
         # decoder generates the whole AO0/AI1 address walk; software only
@@ -152,6 +189,223 @@ class FFTASIP(Machine):
             return self._exec_stout(instr)
         raise SimulationError(f"unexpected custom opcode {instr.opcode}")
 
+    def custom_executor(self, instr: Instruction):
+        """Resolve the custom-op dispatch once at predecode time."""
+        handlers = {
+            Opcode.BUT4: self._exec_but4,
+            Opcode.LDIN: self._exec_ldin,
+            Opcode.STOUT: self._exec_stout,
+        }
+        executor = handlers.get(instr.opcode)
+        if executor is None:
+            raise SimulationError(f"unexpected custom opcode {instr.opcode}")
+        return executor
+
+    def _predecode_token(self):
+        """Decoded handlers specialise on the vectorisation flag and on
+        any instance-level patch of the custom-op executors (a patch
+        between runs of the same program must rebuild the handlers)."""
+        instance = self.__dict__
+        return (
+            self.vectorized,
+            instance.get("_exec_but4"),
+            instance.get("_exec_ldin"),
+            instance.get("_exec_stout"),
+        )
+
+    def custom_burst_executor(self, program, start: int, end: int):
+        """Fused executors for LDIN/STOUT/BUT4 runs (predecode hook).
+
+        Generated programs issue these ops in long straight-line bursts
+        whose addressing is hardware-sequenced, so the whole run can
+        execute with the per-op loop state held in locals.  Architectural
+        effects, statistics and cycle charges are identical to the per-op
+        path; equivalence is asserted against :meth:`Machine.step`-based
+        interpretation in the tests.
+        """
+        if not self.vectorized:
+            return None
+        if any(name in self.__dict__
+               for name in ("_exec_but4", "_exec_ldin", "_exec_stout")):
+            # An executor is instance-patched (instrumentation / fault
+            # injection): decline fusion so every op flows through it.
+            return None
+        instrs = [program[i] for i in range(start, end)]
+        op = instrs[0].opcode
+        first = instrs[0]
+        identical = all(
+            i.rs == first.rs and i.rt == first.rt and i.imm == first.imm
+            for i in instrs
+        )
+        if op is Opcode.LDIN and identical:
+            return self._make_ldin_burst(first, len(instrs))
+        if op is Opcode.STOUT and identical:
+            return self._make_stout_burst(first, len(instrs))
+        if op is Opcode.BUT4 and not self.fixed_point:
+            return self._make_but4_burst(instrs)
+        return None
+
+    def _make_ldin_burst(self, instr: Instruction, count: int):
+        def burst(self=self, rs=instr.rs, rt=instr.rt, count=count):
+            size = self._group_size()
+            stride = self._stride()
+            mem = self.read_reg(rs)
+            crf_pos = self.read_reg(rt)
+            stats = self.stats
+            ops = stats.custom_ops
+            ops["ldin"] = ops.get("ldin", 0) + count
+            stats.loads += count
+            crf = self.crf
+            memory = self.memory
+            fixed = self.fixed_point
+            dcache = self.dcache
+            charge = self.charge_cache_latency
+            flow = self._flow["ldin"]
+            extra_total = 0
+            hits = misses = 0
+            if dcache is not None:
+                access = dcache.access
+                hit_latency = dcache.config.hit_latency
+            for _ in range(count):
+                second_address = mem + stride
+                if dcache is not None:
+                    latency_a = access(mem, False)
+                    latency_b = access(second_address, False)
+                    hits += (latency_a == hit_latency) + (
+                        latency_b == hit_latency
+                    )
+                    misses += (latency_a > hit_latency) + (
+                        latency_b > hit_latency
+                    )
+                    if charge:
+                        extra_total += max(latency_a, latency_b) - hit_latency
+                first, second = memory.read_complex_pair(mem, second_address)
+                if fixed:
+                    first = quantize(complex(first)).to_complex()
+                    second = quantize(complex(second)).to_complex()
+                crf.write(crf_pos % size, first)
+                crf.write((crf_pos + 1) % size, second)
+                crf_pos = (crf_pos + 2) % size
+                group_count, group_start = flow
+                if group_count == 0:
+                    group_start = mem
+                group_count += 2
+                if group_count >= size:
+                    mem = group_start + (1 if stride > 1 else size)
+                    flow[0] = 0
+                    flow[1] = mem
+                else:
+                    flow[0] = group_count
+                    flow[1] = group_start
+                    mem += 2 * stride
+            if dcache is not None:
+                stats.dcache_hits += hits
+                stats.dcache_misses += misses
+            self.write_reg(rs, mem)
+            self.write_reg(rt, crf_pos)
+            return count * (self.pipeline.custom_mem_latency - 1) + extra_total
+        return burst
+
+    def _make_stout_burst(self, instr: Instruction, count: int):
+        def burst(self=self, rs=instr.rs, rt=instr.rt,
+                  prerotate=bool(instr.imm & 1), count=count):
+            size = self._group_size()
+            stride = self._stride(STOUT_STRIDE_REG)
+            crf_pos = self.read_reg(rs)
+            mem = self.read_reg(rt)
+            stats = self.stats
+            ops = stats.custom_ops
+            ops["stout"] = ops.get("stout", 0) + count
+            stats.stores += count
+            crf = self.crf
+            memory = self.memory
+            dcache = self.dcache
+            charge = self.charge_cache_latency
+            flow = self._flow["stout"]
+            extra_total = 0
+            hits = misses = 0
+            if dcache is not None:
+                access = dcache.access
+                hit_latency = dcache.config.hit_latency
+            for _ in range(count):
+                second_address = mem + stride
+                if dcache is not None:
+                    latency_a = access(mem, True)
+                    latency_b = access(second_address, True)
+                    hits += (latency_a == hit_latency) + (
+                        latency_b == hit_latency
+                    )
+                    misses += (latency_a > hit_latency) + (
+                        latency_b > hit_latency
+                    )
+                    if charge:
+                        extra_total += max(latency_a, latency_b) - hit_latency
+                first = crf.read(crf_pos % size)
+                second = crf.read((crf_pos + 1) % size)
+                if prerotate:
+                    first = self._apply_prerotation(mem, first)
+                    second = self._apply_prerotation(second_address, second)
+                memory.write_complex_pair(mem, second_address, first, second)
+                crf_pos = (crf_pos + 2) % size
+                group_count, group_start = flow
+                if group_count == 0:
+                    group_start = mem
+                group_count += 2
+                if group_count >= size:
+                    mem = group_start + (1 if stride > 1 else size)
+                    flow[0] = 0
+                    flow[1] = mem
+                else:
+                    flow[0] = group_count
+                    flow[1] = group_start
+                    mem += 2 * stride
+            if dcache is not None:
+                stats.dcache_hits += hits
+                stats.dcache_misses += misses
+            self.write_reg(rs, crf_pos)
+            self.write_reg(rt, mem)
+            return count * (self.pipeline.custom_mem_latency - 1) + extra_total
+        return burst
+
+    def _make_but4_burst(self, instrs: list):
+        operand_regs = [(i.rs, i.rt) for i in instrs]
+
+        def burst(self=self, operand_regs=operand_regs, count=len(instrs)):
+            size = self._group_size()
+            stats = self.stats
+            ops = stats.custom_ops
+            ops["but4"] = ops.get("but4", 0) + count
+            read_reg = self.read_reg
+            modules_per_stage = self._modules_per_stage
+            index = 0
+            while index < count:
+                rs, rt = operand_regs[index]
+                module = read_reg(rs)
+                stage = read_reg(rt)
+                # Extend over consecutive modules of the same stage; the
+                # whole span is one gather/butterfly/scatter column op.
+                last_module = module
+                span_end = index + 1
+                while span_end < count:
+                    rs2, rt2 = operand_regs[span_end]
+                    if (read_reg(rt2) != stage
+                            or read_reg(rs2) != last_module + 1):
+                        break
+                    last_module += 1
+                    span_end += 1
+                reads, rom_addresses, writes, lanes = self.ac.span_arrays(
+                    module, last_module, stage
+                )
+                self.bu.execute_span(
+                    reads, rom_addresses, writes, lanes,
+                    span_end - index, self.crf, self.rom, size,
+                )
+                if last_module == modules_per_stage:
+                    self.crf.swap_banks()
+                index = span_end
+            return count * (self.pipeline.but4_latency - 1)
+        return burst
+
     def _group_size(self) -> int:
         size = self.read_reg(GROUP_SIZE_REG)
         if size <= 0:
@@ -161,6 +415,7 @@ class FFTASIP(Machine):
         if size != self._configured_group_size:
             self.ac.configure(size)
             self._configured_group_size = size
+            self._modules_per_stage = self.ac.modules_per_stage()
             self._flow = {"ldin": [0, 0], "stout": [0, 0]}
         return size
 
@@ -173,9 +428,21 @@ class FFTASIP(Machine):
         size = self._group_size()
         module = self.read_reg(instr.rs)
         stage = self.read_reg(instr.rt)
-        addresses = self.ac.addresses(module, stage)
-        self.bu.execute(addresses, self.crf, self.rom, size)
-        if module == self.ac.modules_per_stage():
+        # The whole-column fast path pays off for the float datapath; the
+        # Q1.15 path keeps the bit-true scalar lanes (4-lane numpy arrays
+        # cost more in call overhead than they save in arithmetic).
+        if self.vectorized and not self.fixed_point:
+            reads, rom_addresses, writes, lanes = self.ac.index_arrays(
+                module, stage
+            )
+            self.bu.execute_indices(
+                reads, rom_addresses, writes, lanes,
+                self.crf, self.rom, size,
+            )
+        else:
+            addresses = self.ac.addresses(module, stage)
+            self.bu.execute(addresses, self.crf, self.rom, size)
+        if module == self._modules_per_stage:
             self.crf.swap_banks()
         return self.pipeline.but4_latency - 1
 
@@ -209,14 +476,15 @@ class FFTASIP(Machine):
         stride = self._stride()
         mem = self.read_reg(instr.rs)
         crf = self.read_reg(instr.rt)
-        extra = 0
-        for k in range(2):
-            address = mem + k * stride
-            extra = max(extra, self._probe_cache(address, is_write=False))
-            value = self.memory.read_complex(address)
-            if self.fixed_point:
-                value = quantize(complex(value)).to_complex()
-            self.crf.write((crf + k) % size, value)
+        # The two bus beats, unrolled (the 64-bit bus moves two points).
+        second_address = mem + stride
+        extra = self._probe_cache_pair(mem, second_address, is_write=False)
+        first, second = self.memory.read_complex_pair(mem, second_address)
+        if self.fixed_point:
+            first = quantize(complex(first)).to_complex()
+            second = quantize(complex(second)).to_complex()
+        self.crf.write(crf % size, first)
+        self.crf.write((crf + 1) % size, second)
         self.write_reg(instr.rs, self._advance_cursor("ldin", size, stride, mem))
         self.write_reg(instr.rt, (crf + 2) % size)
         return self.pipeline.custom_mem_latency - 1 + extra
@@ -229,20 +497,33 @@ class FFTASIP(Machine):
         crf = self.read_reg(instr.rs)
         mem = self.read_reg(instr.rt)
         prerotate = bool(instr.imm & 1)
-        extra = 0
-        for k in range(2):
-            address = mem + k * stride
-            extra = max(extra, self._probe_cache(address, is_write=True))
-            value = self.crf.read((crf + k) % size)
-            if prerotate:
-                value = self._apply_prerotation(address, value)
-            self.memory.write_complex(address, value)
+        second_address = mem + stride
+        extra = self._probe_cache_pair(mem, second_address, is_write=True)
+        first = self.crf.read(crf % size)
+        second = self.crf.read((crf + 1) % size)
+        if prerotate:
+            first = self._apply_prerotation(mem, first)
+            second = self._apply_prerotation(second_address, second)
+        self.memory.write_complex_pair(mem, second_address, first, second)
         self.write_reg(instr.rs, (crf + 2) % size)
         self.write_reg(instr.rt, self._advance_cursor("stout", size, stride, mem))
         return self.pipeline.custom_mem_latency - 1 + extra
 
+    def _prerotation_table(self) -> np.ndarray:
+        """The flat scratch-order weight table, built on first use."""
+        if self._prerot_flat is None:
+            split = self.plan.split
+            self._prerot_flat = prerotation_matrix(
+                self.prerotation, split.P, split.Q
+            ).reshape(-1)
+            if self.fixed_point:
+                re, im = quantize_array(self._prerot_flat)
+                self._prerot_fx = [
+                    FixedComplex(int(r), int(i)) for r, i in zip(re, im)
+                ]
+        return self._prerot_flat
+
     def _apply_prerotation(self, address: int, value: complex) -> complex:
-        split = self.plan.split
         rel = address - self.scratch_base
         if not (0 <= rel < self.n_points):
             raise SimulationError(
@@ -250,27 +531,39 @@ class FFTASIP(Machine):
                 f"scratch region [{self.scratch_base}, "
                 f"{self.scratch_base + self.n_points})"
             )
-        s, l = divmod(rel, split.Q)
-        weight = self.prerotation.weight(s, l)
+        # rel = s*Q + l indexes the flat weight table directly.
+        table = self._prerotation_table()
         if self.fixed_point:
             product = self.fx.multiply(
-                quantize(complex(value)), quantize(complex(weight))
+                quantize(complex(value)), self._prerot_fx[rel]
             )
             return product.to_complex()
-        return value * weight
+        return value * table[rel]
 
-    def _probe_cache(self, point_address: int, is_write: bool) -> int:
-        """Cache-account one point access; returns extra cycles beyond 1."""
-        if self.dcache is None:
+    def _probe_cache_pair(self, first: int, second: int,
+                          is_write: bool) -> int:
+        """Cache-account both beats of one LDIN/STOUT.
+
+        Per access: miss counting always happens, and the miss penalty
+        only enters the returned extra latency when
+        ``charge_cache_latency`` is set (the two beats overlap, so the
+        charge is the worst of the pair beyond one hit).
+        """
+        dcache = self.dcache
+        if dcache is None:
             return 0
-        latency = self.dcache.access(point_address, is_write)
-        if latency > self.dcache.config.hit_latency:
-            self.stats.dcache_misses += 1
-        else:
-            self.stats.dcache_hits += 1
+        stats = self.stats
+        hit_latency = dcache.config.hit_latency
+        latency_a = dcache.access(first, is_write)
+        latency_b = dcache.access(second, is_write)
+        for latency in (latency_a, latency_b):
+            if latency > hit_latency:
+                stats.dcache_misses += 1
+            else:
+                stats.dcache_hits += 1
         if not self.charge_cache_latency:
             return 0
-        return latency - self.dcache.config.hit_latency
+        return max(latency_a, latency_b) - hit_latency
 
 
 class _SmallPreRotation:

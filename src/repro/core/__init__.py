@@ -2,15 +2,29 @@
 
 from .array_fft import ArrayFFT, array_fft
 from .butterfly import BUOperands, ButterflyUnit, radix2_butterfly
+from .compiled import CompiledArrayFFT, CompiledStage
 from .interleaved import InterleavedArrayFFT
-from .fixed_point import FixedComplex, FixedPointContext, quantize, snr_db
+from .fixed_point import (
+    FixedComplex,
+    FixedPointContext,
+    fixed_to_complex_array,
+    quantize,
+    quantize_array,
+    round_shift_array,
+    snr_db,
+)
 from .plan import ArrayFFTPlan, EpochPlan, StagePlan, build_plan
 from .schedule import BUOp, horizontal_schedule, interleaved_schedule
 
 __all__ = [
     "ArrayFFT",
     "array_fft",
+    "CompiledArrayFFT",
+    "CompiledStage",
     "InterleavedArrayFFT",
+    "quantize_array",
+    "round_shift_array",
+    "fixed_to_complex_array",
     "ButterflyUnit",
     "BUOperands",
     "radix2_butterfly",

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..addressing.bitops import bit_width_of
 from ..addressing.coefficients import rom_coefficient_index
 from ..addressing.local import stage_input_addresses
@@ -44,6 +46,7 @@ class AddressChangingLogic:
         self._group_size = None
         self._p = None
         self._read_tables = {}
+        self._index_cache = {}
 
     def configure(self, group_size: int) -> None:
         """Latch the group size of the current epoch (P or Q)."""
@@ -53,6 +56,7 @@ class AddressChangingLogic:
             stage: stage_input_addresses(self._p, stage)
             for stage in range(1, self._p + 1)
         }
+        self._index_cache = {}
 
     @property
     def group_size(self) -> int:
@@ -101,3 +105,75 @@ class AddressChangingLogic:
             crf_writes_first=first_pos,
             crf_writes_second=second_pos,
         )
+
+    def index_arrays(self, module: int, stage: int) -> tuple:
+        """The addresses of ``BUT4(module, stage)`` as cached index arrays.
+
+        Returns ``(reads, rom, writes, lanes)`` where ``reads``/``writes``
+        concatenate the first/second halves of :meth:`addresses` into one
+        gather/scatter array each.  The tables only depend on (module,
+        stage) for a configured epoch, so the whole BUT4 grid is lowered
+        once and every later op is a dictionary hit — the vectorised
+        counterpart of the decoder's combinational address generation.
+        """
+        key = (module, stage)
+        cached = self._index_cache.get(key)
+        if cached is None:
+            a = self.addresses(module, stage)
+            cached = (
+                np.array(a.crf_reads_first + a.crf_reads_second,
+                         dtype=np.intp),
+                np.array(a.rom_addresses, dtype=np.intp),
+                np.array(a.crf_writes_first + a.crf_writes_second,
+                         dtype=np.intp),
+                len(a.crf_reads_first),
+            )
+            self._check_indices(cached)
+            self._index_cache[key] = cached
+        return cached
+
+    @staticmethod
+    def _check_indices(arrays: tuple) -> None:
+        """One-time guard: gather tables must never contain negatives
+        (a negative would silently wrap in the vectorised CRF/ROM
+        gathers where the scalar oracle raises)."""
+        reads, rom, writes, _ = arrays
+        for table in (reads, rom, writes):
+            if len(table) and table.min() < 0:
+                raise IndexError(
+                    f"AC index table contains a negative address: {table}"
+                )
+
+    def span_arrays(self, module_first: int, module_last: int,
+                    stage: int) -> tuple:
+        """Combined index arrays for modules ``first..last`` of one stage.
+
+        Returns ``(reads, rom, writes, lanes)`` with all first-half
+        indices (and then all second-half indices) of the modules
+        concatenated, so a whole run of consecutive BUT4s executes as one
+        gather/butterfly/scatter.  Per-module counting is unaffected: the
+        array lengths equal the sums over :meth:`index_arrays`.
+        """
+        key = (module_first, module_last, stage)
+        cached = self._index_cache.get(key)
+        if cached is None:
+            parts = [
+                self.addresses(module, stage)
+                for module in range(module_first, module_last + 1)
+            ]
+            firsts = [a.crf_reads_first for a in parts]
+            seconds = [a.crf_reads_second for a in parts]
+            cached = (
+                np.array(sum(firsts, ()) + sum(seconds, ()), dtype=np.intp),
+                np.array(sum((a.rom_addresses for a in parts), ()),
+                         dtype=np.intp),
+                np.array(
+                    sum((a.crf_writes_first for a in parts), ())
+                    + sum((a.crf_writes_second for a in parts), ()),
+                    dtype=np.intp,
+                ),
+                sum(len(f) for f in firsts),
+            )
+            self._check_indices(cached)
+            self._index_cache[key] = cached
+        return cached

@@ -78,6 +78,13 @@ class DataCache:
         """Simulate one access; returns its latency in cycles."""
         index, tag, block = self._locate(word_address)
         ways = self._sets[index]
+        if ways and ways[0] == tag:
+            # MRU fast path: back-to-back beats of one LDIN/STOUT hit the
+            # same line; no list churn needed to keep it most-recent.
+            self.hits += 1
+            if is_write:
+                self._dirty.add(block)
+            return self.config.hit_latency
         if tag in ways:
             ways.remove(tag)
             ways.insert(0, tag)

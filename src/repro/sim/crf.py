@@ -61,6 +61,22 @@ class CustomRegisterFile:
         self.writes += 1
         self._banks[1 - self._active][address] = value
 
+    def read_many(self, addresses: np.ndarray) -> np.ndarray:
+        """Gather entries from the active bank at an index array.
+
+        Counts one read per address, like ``len(addresses)`` calls of
+        :meth:`read`.  Callers must supply non-negative in-range indices
+        (the AC logic validates its tables once at build time); the
+        fancy index rejects overruns but would wrap negatives.
+        """
+        self.reads += len(addresses)
+        return self._banks[self._active][addresses]
+
+    def write_shadow_many(self, addresses: np.ndarray, values) -> None:
+        """Scatter a value array into the inactive bank (stage outputs)."""
+        self.writes += len(addresses)
+        self._banks[1 - self._active][addresses] = values
+
     def swap_banks(self) -> None:
         """Make the shadow bank active (end of a stage)."""
         self._active = 1 - self._active

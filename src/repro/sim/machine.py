@@ -62,6 +62,13 @@ class Machine:
         self.stats = SimStats()
         self.halted = False
         self._last_load_reg = None
+        # Predecode cache: handler list for the last-run program (compare
+        # by identity; streaming reuses one Program object across runs).
+        # The token invalidates the cache when decode-relevant machine
+        # state changes (see _predecode_token).
+        self._decoded_program = None
+        self._decoded_handlers = None
+        self._decoded_token = None
 
     # Register helpers ----------------------------------------------------
 
@@ -102,7 +109,76 @@ class Machine:
     # Execution -----------------------------------------------------------
 
     def run(self, program: Program) -> SimStats:
-        """Run ``program`` from instruction 0 until HALT; returns stats."""
+        """Run ``program`` from instruction 0 until HALT; returns stats.
+
+        The fast path: the program is predecoded once into per-opcode
+        handler closures (operands, branch targets and extra-cost terms
+        resolved at decode time), so the per-step work is a list index
+        and one call instead of the :meth:`step` opcode chain.  Semantics
+        and statistics are identical to :meth:`run_interpreted`.
+        """
+        if "step" in self.__dict__ or "execute_custom" in self.__dict__:
+            # step() or execute_custom() has been instrumented on the
+            # instance (e.g. an ExecutionTrace wrap, or a fault-injection
+            # harness); honour the patch via the interpreter.
+            return self.run_interpreted(program)
+        self.pc = 0
+        self.halted = False
+        self._last_load_reg = None
+        token = self._predecode_token()
+        if program is not self._decoded_program or token != self._decoded_token:
+            self._decoded_handlers = self._predecode(program)
+            self._decoded_program = program
+            self._decoded_token = token
+        handlers = self._decoded_handlers
+        length = len(program)
+        stats = self.stats
+        stall = self.pipeline.load_use_stall
+        # Dispatch and cycle counters run in locals and are flushed on
+        # exit (also on error).  Fused burst handlers retire extra
+        # instructions directly into stats.instructions mid-run, so the
+        # runaway check sums both counters.  The check runs between
+        # dispatches: a fused burst completes before the guard fires, so
+        # the abort may land up to one straight-line burst past the limit
+        # (stats stay exact; only the abort point is coarser than the
+        # interpreter's).
+        limit = self.max_instructions
+        instructions = 0
+        cycles = 0
+        try:
+            while not self.halted:
+                pc = self.pc
+                if not (0 <= pc < length):
+                    raise SimulationError(
+                        f"PC {pc} outside program of length {length}"
+                    )
+                handler, uses = handlers[pc]
+                instructions += 1
+                cost = 1
+                last = self._last_load_reg
+                if last is not None:
+                    self._last_load_reg = None
+                    if last != 0 and last in uses:
+                        cost += stall
+                        stats.stall_cycles += stall
+                extra, next_pc = handler()
+                cycles += cost + extra
+                self.pc = next_pc
+                if instructions + stats.instructions > limit:
+                    raise RunawayProgram(
+                        f"exceeded {limit} instructions"
+                    )
+        finally:
+            stats.instructions += instructions
+            stats.cycles += cycles
+        return stats
+
+    def run_interpreted(self, program: Program) -> SimStats:
+        """Run via the readable one-:meth:`step`-at-a-time interpreter.
+
+        The predecoded :meth:`run` is tested against this oracle; it is
+        also the honest baseline for the engine-speed benchmark.
+        """
         self.pc = 0
         self.halted = False
         self._last_load_reg = None
@@ -119,6 +195,92 @@ class Machine:
                     f"exceeded {self.max_instructions} instructions"
                 )
         return self.stats
+
+    # Predecode -----------------------------------------------------------
+
+    def _predecode(self, program: Program) -> list:
+        """Lower ``program`` to a list of ``(handler, uses)`` pairs.
+
+        ``handler()`` executes the instruction and returns ``(extra_cost,
+        next_pc)``; ``uses`` is the register tuple consulted by the
+        load-use interlock (precomputed :meth:`_uses`).
+        """
+        decoded = []
+        for index, instr in enumerate(program):
+            factory = _HANDLER_FACTORIES.get(instr.opcode)
+            if factory is None:
+                if instr.is_custom:
+                    factory = _make_custom
+                else:
+                    factory = _make_unsupported
+            decoded.append((factory(self, instr, index), _uses_tuple(instr)))
+        self._fuse_custom_bursts(program, decoded)
+        return decoded
+
+    def _fuse_custom_bursts(self, program: Program, decoded: list) -> None:
+        """Overlay burst handlers on straight-line runs of custom ops.
+
+        Generated FFT programs are dominated by LDIN/BUT4/STOUT bursts;
+        fusing a run of same-opcode custom instructions into one handler
+        removes the per-instruction dispatch overhead while retiring the
+        same instructions with the same cycle and stat accounting.  The
+        per-instruction handlers stay in place at every index, so a
+        branch into the middle of a run still executes correctly (custom
+        ops never branch, so a fused run always falls through).  Burst
+        handlers retire their extra instructions into the stats before
+        returning, so the runaway guard sees every retired instruction.
+        """
+        length = len(program)
+        index = 0
+        while index < length:
+            instr = program[index]
+            if not instr.is_custom:
+                index += 1
+                continue
+            end = index + 1
+            while (end < length and program[end].is_custom
+                   and program[end].opcode is instr.opcode):
+                end += 1
+            if end - index > 1:
+                decoded[index] = (
+                    self._make_custom_burst(program, index, end), ()
+                )
+            index = end
+
+    def _make_custom_burst(self, program: Program, start: int, end: int):
+        burst = self.custom_burst_executor(program, start, end)
+        if burst is not None:
+            def handler(m=self, burst=burst,
+                        count_minus_one=end - start - 1, nxt=end):
+                extra = count_minus_one + burst()
+                m.stats.instructions += count_minus_one
+                return (extra, nxt)
+            return handler
+
+        executors = [
+            (self.custom_executor(program[i]), program[i])
+            for i in range(start, end)
+        ]
+
+        def handler(m=self, executors=executors,
+                    count_minus_one=end - start - 1, nxt=end):
+            extra = count_minus_one
+            for fn, instr in executors:
+                extra += fn(instr)
+            m.stats.instructions += count_minus_one
+            return (extra, nxt)
+        return handler
+
+    def custom_burst_executor(self, program: Program, start: int, end: int):
+        """Predecode hook: a fused executor for a custom-op run, or None.
+
+        A subclass may return a zero-argument callable that executes the
+        whole run ``program[start:end]`` with identical architectural
+        effects and statistics, returning the summed per-op *extra*
+        cycles (beyond the one issue cycle each).  Returning None selects
+        the generic per-op loop.
+        """
+        return None
 
     def step(self, instr: Instruction) -> None:
         """Execute one instruction, updating state, stats and PC."""
@@ -200,6 +362,23 @@ class Machine:
             f"{instr.opcode} requires the FFT extension hardware"
         )
 
+    def custom_executor(self, instr: Instruction):
+        """Predecode hook: the callable executing this custom instruction.
+
+        Subclasses with several custom opcodes can resolve the dispatch
+        once at decode time instead of on every dynamic execution.
+        """
+        return self.execute_custom
+
+    def _predecode_token(self):
+        """State the predecoded handlers depend on besides the program.
+
+        Subclasses whose decode-time specialisation reads mutable machine
+        state (e.g. the ASIP's ``vectorized`` flag) return it here so the
+        handler cache is invalidated when it changes.
+        """
+        return None
+
     @staticmethod
     def _uses(instr: Instruction, reg: int) -> bool:
         if reg == 0:
@@ -249,3 +428,154 @@ _BRANCH_TAKEN = {
     Opcode.BLT: lambda a, b: a < b,
     Opcode.BGE: lambda a, b: a >= b,
 }
+
+
+# Predecode support ---------------------------------------------------------
+#
+# One factory per opcode family builds a closure with the instruction's
+# operands (and its fall-through PC) bound as locals.  Each closure returns
+# ``(extra_cost, next_pc)``; the run loop supplies the base issue cycle and
+# the load-use interlock.  The factories mirror ``step`` exactly — the
+# equivalence is asserted by tests against ``run_interpreted``.
+
+
+def _uses_tuple(instr: Instruction) -> tuple:
+    """Registers the load-use interlock must check for this instruction."""
+    op = instr.opcode
+    if op in _ALU_R or op is Opcode.JR:
+        return (instr.rs, instr.rt)
+    if op in _ALU_I or op is Opcode.LW:
+        return (instr.rs,)
+    if op is Opcode.SW or op in _BRANCH_TAKEN:
+        return (instr.rs, instr.rt)
+    return ()
+
+
+def _make_nop(machine, instr, index):
+    return lambda nxt=index + 1: (0, nxt)
+
+
+def _make_halt(machine, instr, index):
+    def handler(m=machine, nxt=index + 1):
+        m.halted = True
+        return (0, nxt)
+    return handler
+
+
+def _make_alu_r(machine, instr, index):
+    extra = (
+        machine.pipeline.mul_extra
+        if instr.opcode in (Opcode.MUL, Opcode.MULH) else 0
+    )
+
+    def handler(m=machine, fn=_ALU_R[instr.opcode], rd=instr.rd,
+                rs=instr.rs, rt=instr.rt, extra=extra, nxt=index + 1):
+        m.write_reg(rd, fn(m.read_reg(rs), m.read_reg(rt)))
+        return (extra, nxt)
+    return handler
+
+
+def _make_alu_i(machine, instr, index):
+    def handler(m=machine, fn=_ALU_I[instr.opcode], rt=instr.rt,
+                rs=instr.rs, imm=instr.imm, nxt=index + 1):
+        m.write_reg(rt, fn(m.read_reg(rs), imm))
+        return (0, nxt)
+    return handler
+
+
+def _make_lui(machine, instr, index):
+    value = (instr.imm & 0xFFFF) << 16
+
+    def handler(m=machine, rt=instr.rt, value=value, nxt=index + 1):
+        m.write_reg(rt, value)
+        return (0, nxt)
+    return handler
+
+
+def _make_lw(machine, instr, index):
+    def handler(m=machine, rt=instr.rt, rs=instr.rs, imm=instr.imm,
+                nxt=index + 1):
+        address = m.read_reg(rs) + imm
+        extra = m.data_access(address, is_write=False) - 1
+        m.write_reg(rt, m.memory.read_word(address))
+        m._last_load_reg = rt
+        return (extra, nxt)
+    return handler
+
+
+def _make_sw(machine, instr, index):
+    def handler(m=machine, rt=instr.rt, rs=instr.rs, imm=instr.imm,
+                nxt=index + 1):
+        address = m.read_reg(rs) + imm
+        extra = m.data_access(address, is_write=True) - 1
+        m.memory.write_word(address, m.read_reg(rt))
+        return (extra, nxt)
+    return handler
+
+
+def _make_branch(machine, instr, index):
+    def handler(m=machine, taken=_BRANCH_TAKEN[instr.opcode], rs=instr.rs,
+                rt=instr.rt, target=instr.imm,
+                penalty=machine.pipeline.branch_penalty, nxt=index + 1):
+        stats = m.stats
+        stats.branches += 1
+        if taken(m.read_reg(rs), m.read_reg(rt)):
+            stats.taken_branches += 1
+            return (penalty, target)
+        return (0, nxt)
+    return handler
+
+
+def _make_jump(machine, instr, index):
+    def handler(m=machine, target=instr.imm,
+                penalty=machine.pipeline.branch_penalty):
+        stats = m.stats
+        stats.branches += 1
+        stats.taken_branches += 1
+        return (penalty, target)
+    return handler
+
+
+def _make_jal(machine, instr, index):
+    def handler(m=machine, target=instr.imm, link=index + 1,
+                penalty=machine.pipeline.branch_penalty):
+        stats = m.stats
+        stats.branches += 1
+        stats.taken_branches += 1
+        m.write_reg(31, link)
+        return (penalty, target)
+    return handler
+
+
+def _make_jr(machine, instr, index):
+    def handler(m=machine, rs=instr.rs,
+                penalty=machine.pipeline.branch_penalty):
+        stats = m.stats
+        stats.branches += 1
+        stats.taken_branches += 1
+        return (penalty, m.read_reg(rs))
+    return handler
+
+
+def _make_custom(machine, instr, index):
+    def handler(fn=machine.custom_executor(instr), instr=instr, nxt=index + 1):
+        return (fn(instr), nxt)
+    return handler
+
+
+def _make_unsupported(machine, instr, index):
+    def handler(instr=instr):
+        raise UnsupportedInstruction(f"cannot execute {instr}")
+    return handler
+
+
+_HANDLER_FACTORIES = {Opcode.NOP: _make_nop, Opcode.HALT: _make_halt}
+_HANDLER_FACTORIES.update({op: _make_alu_r for op in _ALU_R})
+_HANDLER_FACTORIES.update({op: _make_alu_i for op in _ALU_I})
+_HANDLER_FACTORIES.update({op: _make_branch for op in _BRANCH_TAKEN})
+_HANDLER_FACTORIES[Opcode.LUI] = _make_lui
+_HANDLER_FACTORIES[Opcode.LW] = _make_lw
+_HANDLER_FACTORIES[Opcode.SW] = _make_sw
+_HANDLER_FACTORIES[Opcode.J] = _make_jump
+_HANDLER_FACTORIES[Opcode.JAL] = _make_jal
+_HANDLER_FACTORIES[Opcode.JR] = _make_jr

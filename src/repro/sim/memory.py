@@ -78,6 +78,29 @@ class MainMemory:
             re_word, im_word = quantize(complex(value)).to_words()
             self._data[point_address] = (re_word << 16) | im_word
 
+    def read_complex_pair(self, first: int, second: int) -> tuple:
+        """Read the two complex points of one 64-bit bus beat."""
+        if self.float_mode:
+            self._check(first)
+            self._check(second)
+            data = self._data
+            return complex(data[first]), complex(data[second])
+        return self.read_complex(first), self.read_complex(second)
+
+    def write_complex_pair(self, first: int, second: int,
+                           value_first: complex,
+                           value_second: complex) -> None:
+        """Store the two complex points of one 64-bit bus beat."""
+        if self.float_mode:
+            self._check(first)
+            self._check(second)
+            data = self._data
+            data[first] = complex(value_first)
+            data[second] = complex(value_second)
+            return
+        self.write_complex(first, value_first)
+        self.write_complex(second, value_second)
+
     def load_complex_vector(self, base_point: int, values) -> None:
         """Bulk-store a complex vector starting at ``base_point``."""
         for k, v in enumerate(np.asarray(values, dtype=complex)):

@@ -49,6 +49,21 @@ class CoefficientROM:
         stride = self.points // group_points
         return self.read(address * stride)
 
+    def read_many_for_size(self, addresses: np.ndarray,
+                           group_points: int) -> np.ndarray:
+        """Gather several stride-addressed twiddles at once.
+
+        Counts one read per address, like repeated
+        :meth:`read_for_size` calls.
+        """
+        if group_points > self.points:
+            raise ValueError(
+                f"group size {group_points} exceeds ROM size {self.points}"
+            )
+        stride = self.points // group_points
+        self.reads += len(addresses)
+        return self._table[addresses * stride]
+
     def as_array(self) -> np.ndarray:
         """Copy of the full table (for verification)."""
         return self._table.copy()
