@@ -1,6 +1,6 @@
-"""Engine-speed benchmark: compiled/vectorized paths vs the oracle paths.
+"""Engine-speed benchmark: fast paths vs the oracle paths.
 
-Times the three hot paths this repo accelerates and asserts the speedup
+Times the hot paths this repo accelerates and asserts the speedup
 floors, so a perf regression fails the suite loudly rather than rotting
 silently:
 
@@ -8,16 +8,30 @@ silently:
   per-butterfly oracle, floor **10x**;
 * 2048-point Q1.15 ``ArrayFFT.transform``  — vectorised int64 datapath vs
   the ``FixedComplex`` walk (bit-identical outputs), floor **5x**;
-* 1024-point ASIP simulation (steady state) — predecoded handlers + fused
-  custom-op bursts vs the step interpreter with scalar BUT4, floor **3x**.
+* 1024-point float ASIP simulation — predecoded handlers + fused
+  custom-op bursts vs the step interpreter with scalar BUT4, floor **3x**;
+* 1024-point Q1.15 ASIP simulation — int-array CRF datapath vs the PR-1
+  predecoded scalar-lane path (bit-identical incl. overflow counts),
+  floor **3x**;
+* streamed 64-symbol run — multi-symbol ``run_batch`` execution vs the
+  serial per-symbol loop (identical stats), floor **2x**;
+* sharded 512-symbol ``transform_many`` — 2-worker process pool vs the
+  serial batch engine (bit-identical), floor **1.5x**, asserted only
+  when the host actually exposes >= 2 CPUs (recorded regardless).
 
-The measured trajectory (N = 256 .. 2048 for both ArrayFFT datapaths)
-is written to ``BENCH_engine.json`` at the repo root.
+Each run appends a dated entry to the ``history`` list in
+``BENCH_engine.json`` at the repo root (the perf trajectory across PRs);
+``latest`` always mirrors the newest entry.
 
-Run:  pytest benchmarks/bench_engine_speed.py -s
+Run:     pytest benchmarks/bench_engine_speed.py -s
+Quick:   python benchmarks/bench_engine_speed.py --quick
+         (small sizes, floors only, no trajectory write — the tier-1
+         regression gate, see tests/test_engine_speed_quick.py)
 """
 
+import argparse
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -26,14 +40,32 @@ import pytest
 
 from repro.asip import generate_fft_program
 from repro.asip.fft_asip import FFTASIP
-from repro.core import ArrayFFT
+from repro.asip.streaming import StreamingFFT
+from repro.core import ArrayFFT, ShardedEngine, available_workers
 
-FLOAT_FLOOR = 10.0
-FIXED_FLOOR = 5.0
-ASIP_FLOOR = 3.0
+FLOORS = {
+    "float": 10.0,
+    "fixed": 5.0,
+    "asip": 3.0,
+    "fixed_asip": 3.0,
+    "stream": 2.0,
+    "sharded": 1.5,
+}
+
+# Quick mode uses small sizes where constant overheads weigh more, so the
+# floors are deliberately conservative — their job is to catch a fast
+# path silently degrading to its oracle, not to re-measure the headline.
+QUICK_FLOORS = {
+    "float": 3.0,
+    "fixed": 1.5,
+    "asip": 1.5,
+    "fixed_asip": 1.5,
+    "stream": 1.3,
+}
 
 SWEEP_SIZES = [256, 512, 1024, 2048]
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+HISTORY_LIMIT = 200
 
 
 def _vector(n, seed=0, scale=1.0):
@@ -64,6 +96,7 @@ def _time_array_fft(n, fixed_point, reps_fast=5, reps_ref=2):
 
 
 def _time_asip(n, reps=3):
+    """Float ASIP: predecoded + fused bursts vs the step interpreter."""
     x = _vector(n, seed=n)
     program = generate_fft_program(n)
 
@@ -89,12 +122,93 @@ def _time_asip(n, reps=3):
     return t_ref, t_fast
 
 
-@pytest.fixture(scope="module")
-def measurements():
-    results = {"sweep": {}, "floors": {
-        "float": FLOAT_FLOOR, "fixed": FIXED_FLOOR, "asip": ASIP_FLOOR,
-    }}
-    for n in SWEEP_SIZES:
+def _time_fixed_asip(n, reps=3):
+    """Q1.15 ASIP: int-array CRF datapath vs the PR-1 predecoded path."""
+    x = _vector(n, seed=n, scale=0.3)
+    program = generate_fft_program(n)
+
+    fast = FFTASIP(n, fixed_point=True)
+    baseline = FFTASIP(n, fixed_point=True, int_datapath=False)
+    for machine in (fast, baseline):
+        machine.load_input(x)
+        machine.run(program)
+    assert np.array_equal(fast.read_output(), baseline.read_output())
+    assert fast.stats.as_dict() == baseline.stats.as_dict()
+    assert fast.fx.overflow_count == baseline.fx.overflow_count
+
+    def run_fast():
+        fast.load_input(x)
+        fast.run(program)
+
+    def run_baseline():
+        baseline.load_input(x)
+        baseline.run(program)
+
+    t_fast = _best_of(run_fast, reps)
+    t_ref = _best_of(run_baseline, reps)
+    return t_ref, t_fast
+
+
+def _time_stream(n, symbols, reps=2):
+    """Streamed run: multi-symbol batch execution vs the serial loop."""
+    rng = np.random.default_rng(n)
+    blocks = rng.standard_normal((symbols, n)) + 1j * rng.standard_normal(
+        (symbols, n)
+    )
+    serial = StreamingFFT(n)
+    batched = StreamingFFT(n)
+    serial.process(blocks[:2], verify=False, batch=1)    # warm predecode
+    batched.process(blocks[:2], verify=False)
+
+    t_ref = _best_of(
+        lambda: serial.process(blocks, verify=False, batch=1), reps
+    )
+    t_fast = _best_of(
+        lambda: batched.process(blocks, verify=False), reps
+    )
+    check_serial = StreamingFFT(n)
+    check_batched = StreamingFFT(n)
+    a = check_serial.process(blocks[:8], batch=1)
+    b = check_batched.process(blocks[:8])
+    assert a.per_symbol_cycles == b.per_symbol_cycles
+    assert (check_serial.asip.stats.as_dict()
+            == check_batched.asip.stats.as_dict())
+    return t_ref, t_fast
+
+
+def _time_sharded(n, symbols, workers=2, reps=2):
+    """Sharded transform_many vs the serial batch engine."""
+    rng = np.random.default_rng(7)
+    blocks = rng.standard_normal((symbols, n)) + 1j * rng.standard_normal(
+        (symbols, n)
+    )
+    serial = ArrayFFT(n)
+    serial.transform_many(blocks[:2])  # warm the compiled tables
+    with ShardedEngine(n, workers=workers,
+                       min_parallel_symbols=8) as sharded:
+        warm = sharded.transform_many(blocks[:max(8, workers)])
+        assert np.array_equal(warm, serial.transform_many(
+            blocks[:max(8, workers)]
+        ))
+        t_ref = _best_of(lambda: serial.transform_many(blocks), reps)
+        t_fast = _best_of(lambda: sharded.transform_many(blocks), reps)
+        assert np.array_equal(
+            sharded.transform_many(blocks), serial.transform_many(blocks)
+        )
+    return t_ref, t_fast
+
+
+def collect_measurements(quick=False):
+    """Run the benchmark matrix; returns the results dictionary."""
+    sweep_sizes = [256] if quick else SWEEP_SIZES
+    results = {
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "quick": quick,
+        "cpus": available_workers(),
+        "floors": dict(QUICK_FLOORS if quick else FLOORS),
+        "sweep": {},
+    }
+    for n in sweep_sizes:
         ref_f, fast_f = _time_array_fft(n, fixed_point=False)
         ref_x, fast_x = _time_array_fft(n, fixed_point=True)
         results["sweep"][n] = {
@@ -105,13 +219,72 @@ def measurements():
             "fixed_compiled_ms": fast_x * 1e3,
             "fixed_speedup": ref_x / fast_x,
         }
-    ref_a, fast_a = _time_asip(1024)
-    results["asip_1024"] = {
+    asip_n = 256 if quick else 1024
+    ref_a, fast_a = _time_asip(asip_n)
+    results["asip"] = {
+        "n": asip_n,
         "interpreted_ms": ref_a * 1e3,
         "predecoded_ms": fast_a * 1e3,
         "speedup": ref_a / fast_a,
     }
-    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    ref_fx, fast_fx = _time_fixed_asip(asip_n)
+    results["fixed_asip"] = {
+        "n": asip_n,
+        "pr1_scalar_ms": ref_fx * 1e3,
+        "int_datapath_ms": fast_fx * 1e3,
+        "speedup": ref_fx / fast_fx,
+    }
+    stream_n, stream_symbols = (128, 16) if quick else (1024, 64)
+    ref_s, fast_s = _time_stream(stream_n, stream_symbols)
+    results["stream"] = {
+        "n": stream_n,
+        "symbols": stream_symbols,
+        "serial_ms": ref_s * 1e3,
+        "batched_ms": fast_s * 1e3,
+        "speedup": ref_s / fast_s,
+    }
+    if not quick:
+        ref_p, fast_p = _time_sharded(1024, 512, workers=2)
+        results["sharded"] = {
+            "n": 1024,
+            "symbols": 512,
+            "workers": 2,
+            "serial_ms": ref_p * 1e3,
+            "sharded_ms": fast_p * 1e3,
+            "speedup": ref_p / fast_p,
+        }
+    return results
+
+
+def record_trajectory(results, path=RESULT_PATH):
+    """Append the run to the dated history (never overwrite the past)."""
+    history = []
+    if path.exists():
+        try:
+            stored = json.loads(path.read_text())
+        except (ValueError, OSError):
+            stored = None
+        if isinstance(stored, dict):
+            if isinstance(stored.get("history"), list):
+                history = stored["history"]
+            elif stored:
+                # Pre-history flat format (PR 1): keep it as the first
+                # trajectory point rather than discarding it.
+                history = [{"date": "pre-history", **stored}]
+    history.append(results)
+    history = history[-HISTORY_LIMIT:]
+    path.write_text(
+        json.dumps({"latest": results, "history": history}, indent=2) + "\n"
+    )
+
+
+# Pytest flow (full sizes, floors + trajectory) ---------------------------
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    results = collect_measurements(quick=False)
+    record_trajectory(results)
     return results
 
 
@@ -120,7 +293,7 @@ def test_float_2048_speedup_floor(measurements):
     print(f"\nfloat 2048: {row['float_reference_ms']:.2f} ms -> "
           f"{row['float_compiled_ms']:.3f} ms "
           f"({row['float_speedup']:.1f}x)")
-    assert row["float_speedup"] >= FLOAT_FLOOR
+    assert row["float_speedup"] >= FLOORS["float"]
 
 
 def test_fixed_2048_speedup_floor(measurements):
@@ -128,20 +301,90 @@ def test_fixed_2048_speedup_floor(measurements):
     print(f"\nfixed 2048: {row['fixed_reference_ms']:.2f} ms -> "
           f"{row['fixed_compiled_ms']:.3f} ms "
           f"({row['fixed_speedup']:.1f}x)")
-    assert row["fixed_speedup"] >= FIXED_FLOOR
+    assert row["fixed_speedup"] >= FLOORS["fixed"]
 
 
 def test_asip_speedup_floor(measurements):
-    row = measurements["asip_1024"]
-    print(f"\nasip 1024: {row['interpreted_ms']:.2f} ms -> "
+    row = measurements["asip"]
+    print(f"\nasip {row['n']}: {row['interpreted_ms']:.2f} ms -> "
           f"{row['predecoded_ms']:.2f} ms ({row['speedup']:.1f}x)")
-    assert row["speedup"] >= ASIP_FLOOR
+    assert row["speedup"] >= FLOORS["asip"]
 
 
-def test_trajectory_written(measurements):
+def test_fixed_asip_speedup_floor(measurements):
+    row = measurements["fixed_asip"]
+    print(f"\nfixed asip {row['n']}: {row['pr1_scalar_ms']:.2f} ms -> "
+          f"{row['int_datapath_ms']:.2f} ms ({row['speedup']:.1f}x)")
+    assert row["speedup"] >= FLOORS["fixed_asip"]
+
+
+def test_stream_batch_speedup_floor(measurements):
+    row = measurements["stream"]
+    print(f"\nstream {row['symbols']}x{row['n']}: "
+          f"{row['serial_ms']:.1f} ms -> {row['batched_ms']:.1f} ms "
+          f"({row['speedup']:.1f}x)")
+    assert row["speedup"] >= FLOORS["stream"]
+
+
+def test_sharded_scaling_floor(measurements):
+    row = measurements["sharded"]
+    print(f"\nsharded {row['symbols']}x{row['n']} @ {row['workers']}w: "
+          f"{row['serial_ms']:.1f} ms -> {row['sharded_ms']:.1f} ms "
+          f"({row['speedup']:.2f}x, {measurements['cpus']} cpus)")
+    if measurements["cpus"] < 2:
+        pytest.skip("sharded scaling needs >= 2 CPUs; measurement "
+                    "recorded in BENCH_engine.json")
+    assert row["speedup"] >= FLOORS["sharded"]
+
+
+def test_trajectory_appends_history(measurements):
     assert RESULT_PATH.exists()
     stored = json.loads(RESULT_PATH.read_text())
-    assert set(stored["sweep"]) == {str(n) for n in SWEEP_SIZES}
-    for row in stored["sweep"].values():
+    assert isinstance(stored["history"], list) and stored["history"]
+    assert stored["latest"] == stored["history"][-1]
+    latest = stored["latest"]
+    assert "date" in latest
+    assert set(latest["sweep"]) == {str(n) for n in SWEEP_SIZES}
+    for row in latest["sweep"].values():
         assert row["float_speedup"] > 1.0
         assert row["fixed_speedup"] > 1.0
+
+
+# Quick flow (small sizes, floors only, no write) -------------------------
+
+
+def run_quick() -> int:
+    """Small-size floor check; returns a process exit code."""
+    results = collect_measurements(quick=True)
+    checks = [
+        ("float", results["sweep"][256]["float_speedup"]),
+        ("fixed", results["sweep"][256]["fixed_speedup"]),
+        ("asip", results["asip"]["speedup"]),
+        ("fixed_asip", results["fixed_asip"]["speedup"]),
+        ("stream", results["stream"]["speedup"]),
+    ]
+    failed = False
+    for name, speedup in checks:
+        floor = QUICK_FLOORS[name]
+        status = "ok" if speedup >= floor else "FAIL"
+        if speedup < floor:
+            failed = True
+        print(f"quick {name:<11} {speedup:6.1f}x  (floor {floor}x)  {status}")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes, floors only, no trajectory write")
+    args = parser.parse_args(argv)
+    if args.quick:
+        return run_quick()
+    results = collect_measurements(quick=False)
+    record_trajectory(results)
+    print(json.dumps(results, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

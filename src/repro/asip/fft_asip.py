@@ -35,8 +35,10 @@ from ..core.fixed_point import (
     FixedComplex,
     FixedPointContext,
     fixed_to_complex_array,
+    fixed_to_words_array,
     quantize,
     quantize_array,
+    words_to_fixed_array,
 )
 from ..core.plan import ArrayFFTPlan, build_plan
 from ..isa.instructions import Instruction, Opcode
@@ -86,7 +88,8 @@ class _QuantizedButterflyArithmetic:
         wr, wi = quantize_array(w)
         sr, si, dr, di = self.context.butterfly_arrays(ar, ai, br, bi, wr, wi)
         return fixed_to_complex_array(
-            np.concatenate((sr, dr)), np.concatenate((si, di))
+            np.concatenate((sr, dr), axis=-1),
+            np.concatenate((si, di), axis=-1),
         )
 
 
@@ -107,11 +110,19 @@ class FFTASIP(Machine):
         (cached AC index arrays, one CRF gather/scatter per op).  False
         keeps the scalar per-lane walk — the oracle the fast path is
         tested against, and the seed-equivalent benchmark baseline.
+    int_datapath:
+        Fixed-point only.  When True (default) the CRF stores Q1.15
+        integers as struct-of-arrays components and BUT4 spans, LDIN and
+        STOUT bursts run as int64 column operations — bit-identical to
+        the scalar lanes (overflow counts included).  False keeps the
+        complex-entry CRF with scalar Q1.15 lanes (the PR-1 baseline the
+        engine-speed benchmark measures against).
     """
 
     def __init__(self, n_points: int, cache_config: CacheConfig = None,
                  pipeline: PipelineConfig = None, fixed_point: bool = False,
-                 memory_words: int = None, vectorized: bool = True):
+                 memory_words: int = None, vectorized: bool = True,
+                 int_datapath: bool = True):
         plan = build_plan(n_points)
         words = memory_words or max(4 * n_points, 4096)
         super().__init__(
@@ -123,9 +134,11 @@ class FFTASIP(Machine):
         self.n_points = n_points
         self.fixed_point = fixed_point
         self.vectorized = vectorized
+        self.int_datapath = bool(fixed_point and int_datapath)
         self.fx = FixedPointContext() if fixed_point else None
         arithmetic = _QuantizedButterflyArithmetic(self.fx) if fixed_point else None
-        self.crf = CustomRegisterFile(plan.crf_entries)
+        self.crf = CustomRegisterFile(plan.crf_entries,
+                                      int_mode=self.int_datapath)
         self.rom = CoefficientROM(plan.split.P)
         self.ac = AddressChangingLogic()
         self.bu = BUFunctionalUnit(arithmetic=arithmetic)
@@ -142,11 +155,20 @@ class FFTASIP(Machine):
         # first run is honoured, as with ArrayFFT's compiled engine.
         self._prerot_flat = None
         self._prerot_fx = None
+        self._prerot_components = None
+        # Active multi-symbol batch (see run_batch); None in serial runs.
+        self._batch = None
         self.input_base = 0
         self.scratch_base = n_points
         self.output_base = 2 * n_points
         self._configured_group_size = None
         self._modules_per_stage = None
+        # AI0 corner-turn permutation: input point i holds
+        # x[(i % P) * Q + i // P]; plan-static, shared by load_input and
+        # the batch stager.
+        idx = np.arange(n_points, dtype=np.int64)
+        split = plan.split
+        self._input_perm = (idx % split.P) * split.Q + idx // split.P
         # Hardware address sequencers for LDIN / STOUT: within-group point
         # count and the latched group start address (Section III-A: the
         # decoder generates the whole AO0/AI1 address walk; software only
@@ -167,16 +189,201 @@ class FFTASIP(Machine):
             raise ValueError(
                 f"ASIP provisioned for N={self.n_points}, got {len(x)}"
             )
-        split = self.plan.split
-        for l in range(split.Q):
-            for m in range(split.P):
-                self.memory.write_complex(
-                    self.input_base + l * split.P + m, complex(x[split.Q * m + l])
-                )
+        self.memory.scatter_complex(
+            self.input_base + np.arange(self.n_points),
+            x[self._input_perm],
+        )
 
     def read_output(self) -> np.ndarray:
         """Read back the natural-order spectrum from the output region."""
         return self.memory.read_complex_vector(self.output_base, self.n_points)
+
+    # Multi-symbol batch execution ----------------------------------------
+
+    def run_batch(self, program, blocks) -> tuple:
+        """Run ``program`` over an ``(n_symbols, N)`` block batch.
+
+        Fast path: all symbols are staged once and the program executes a
+        *single* time with the data plane (memory data regions and CRF)
+        carrying a leading symbol axis, so every fused LDIN/BUT4/STOUT
+        walk moves all symbols in one numpy pass.  The scalar control
+        plane (registers, branches, address sequencers) is shared — valid
+        because the generated programs have no data-dependent control
+        flow.  Statistics retire exactly as ``n_symbols`` serial runs:
+        per-symbol counters scale by the batch size, and data-cache
+        hit/miss counts replay the recorded address trace per symbol
+        (with a fixed-point shortcut once the cache state converges).
+
+        Returns ``(outputs, per_symbol_cycles)``.  Falls back to the
+        serial per-symbol loop whenever exact batched semantics cannot be
+        guaranteed: scalar-oracle configurations, instrumented machines,
+        programs containing LW/SW, or charged cache latency.
+        """
+        blocks = np.asarray(blocks, dtype=complex)
+        if blocks.ndim != 2 or blocks.shape[1] != self.n_points:
+            raise ValueError(
+                f"expected an (n_symbols, {self.n_points}) batch, "
+                f"got shape {blocks.shape}"
+            )
+        n = blocks.shape[0]
+        if n == 0:
+            return blocks.copy(), []
+        if n == 1 or not self._can_batch(program):
+            outputs = np.empty_like(blocks)
+            cycles = []
+            for k in range(n):
+                before = self.stats.cycles
+                self.load_input(blocks[k])
+                self.run(program)
+                cycles.append(self.stats.cycles - before)
+                outputs[k] = self.read_output()
+            return outputs, cycles
+        batch = self._stage_batch(blocks)
+        serial_crf = self.crf
+        stats = self.stats
+        counters = ("cycles", "instructions", "loads", "stores",
+                    "branches", "taken_branches", "stall_cycles")
+        before = {name: getattr(stats, name) for name in counters}
+        before_ops = dict(stats.custom_ops)
+        self.crf = serial_crf.batched_clone(n)
+        self._batch = batch
+        try:
+            self.run(program)
+        except Exception:
+            self.crf = serial_crf
+            raise
+        finally:
+            self._batch = None
+        batched_crf = self.crf
+        self.crf = serial_crf
+        # Dataflow guard: a column both read-while-unwritten and written
+        # during the run means the program consumed state that, serially,
+        # a previous symbol would have produced — the batch result would
+        # silently diverge for symbols >= 2.  Generated FFT programs are
+        # strictly write-before-read and never trip this.
+        if bool(np.any(batch.suspect & batch.written)):
+            raise SimulationError(
+                "batched program reads data-region state carried across "
+                "symbols; run it serially (run_batch with batch size 1 "
+                "or Machine.run per symbol)"
+            )
+        # Retire the remaining n-1 symbols: with shared control flow each
+        # symbol's counters repeat the measured run exactly.
+        per_symbol = stats.cycles - before["cycles"]
+        for name in counters:
+            delta = getattr(stats, name) - before[name]
+            setattr(stats, name, before[name] + n * delta)
+        for key, value in stats.custom_ops.items():
+            delta = value - before_ops.get(key, 0)
+            if delta:
+                stats.custom_ops[key] = before_ops.get(key, 0) + n * delta
+        if self.dcache is not None and batch.trace:
+            self._replay_cache_trace(batch.trace, n - 1)
+        serial_crf.adopt_last_symbol(batched_crf)
+        self._writeback_batch(batch)
+        return self._batch_outputs(batch), [per_symbol] * n
+
+    def _can_batch(self, program) -> bool:
+        """Whether the batched fast path reproduces serial runs exactly."""
+        if not self.vectorized:
+            return False
+        if self.fixed_point and not self.int_datapath:
+            return False
+        if self.charge_cache_latency:
+            return False
+        patched = ("step", "execute_custom", "load_input", "read_output",
+                   "_exec_but4", "_exec_ldin", "_exec_stout")
+        if any(name in self.__dict__ for name in patched):
+            return False
+        for index in range(len(program)):
+            if program[index].opcode in (Opcode.LW, Opcode.SW):
+                return False
+        return True
+
+    def _stage_batch(self, blocks: np.ndarray) -> "_SymbolBatch":
+        """Stage every symbol's input in AI0 order over a batch axis."""
+        n = blocks.shape[0]
+        window = 3 * self.n_points
+        batch = _SymbolBatch(n, window, self.fixed_point)
+        # The input region is re-staged per symbol in the serial loop
+        # too, so reads from it never depend on a previous symbol.
+        batch.written[self.input_base:self.input_base + self.n_points] = True
+        base_addresses = np.arange(window)
+        src = self._input_perm
+        if self.fixed_point:
+            re0, im0 = words_to_fixed_array(
+                self.memory.gather_words(base_addresses)
+            )
+            batch.re = np.tile(re0, (n, 1))
+            batch.im = np.tile(im0, (n, 1))
+            qr, qi = quantize_array(blocks)
+            batch.re[:, :self.n_points] = qr[:, src]
+            batch.im[:, :self.n_points] = qi[:, src]
+        else:
+            base = self.memory.gather_complex(base_addresses)
+            batch.data = np.tile(base, (n, 1))
+            batch.data[:, :self.n_points] = blocks[:, src]
+        if self.dcache is None:
+            batch.trace = None
+        return batch
+
+    def _writeback_batch(self, batch: "_SymbolBatch") -> None:
+        """Leave scalar memory holding the last symbol's data regions —
+        the end state of the equivalent serial loop."""
+        addresses = np.arange(batch.window)
+        if batch.fixed:
+            self.memory.scatter_words(
+                addresses, fixed_to_words_array(batch.re[-1], batch.im[-1])
+            )
+        else:
+            self.memory.scatter_complex(addresses, batch.data[-1])
+
+    def _batch_outputs(self, batch: "_SymbolBatch") -> np.ndarray:
+        lo = self.output_base
+        hi = lo + self.n_points
+        if batch.fixed:
+            return fixed_to_complex_array(
+                batch.re[:, lo:hi], batch.im[:, lo:hi]
+            )
+        return batch.data[:, lo:hi].copy()
+
+    def _replay_cache_trace(self, trace: list, repeats: int) -> None:
+        """Account symbols 2..n of a batch on the data cache.
+
+        The batched run accounted symbol 1's walk; every later symbol
+        replays the identical address sequence.  Replay proceeds symbol
+        by symbol until the cache state reaches a fixed point (typically
+        after one replay), after which the remaining symbols' counts
+        repeat exactly and are retired arithmetically.
+        """
+        dcache = self.dcache
+        stats = self.stats
+        access = dcache.access
+        hit_latency = dcache.config.hit_latency
+        previous = dcache.state_key()
+        remaining = repeats
+        while remaining > 0:
+            hits = misses = 0
+            writebacks_before = dcache.writebacks
+            for address, is_write in trace:
+                if access(address, is_write) > hit_latency:
+                    misses += 1
+                else:
+                    hits += 1
+            remaining -= 1
+            stats.dcache_hits += hits
+            stats.dcache_misses += misses
+            state = dcache.state_key()
+            if remaining and state == previous:
+                stats.dcache_hits += hits * remaining
+                stats.dcache_misses += misses * remaining
+                dcache.hits += hits * remaining
+                dcache.misses += misses * remaining
+                dcache.writebacks += (
+                    (dcache.writebacks - writebacks_before) * remaining
+                )
+                remaining = 0
+            previous = state
 
     # Custom instruction execution ------------------------------------------
 
@@ -208,6 +415,8 @@ class FFTASIP(Machine):
         instance = self.__dict__
         return (
             self.vectorized,
+            self.int_datapath,
+            self._batch is not None,
             instance.get("_exec_but4"),
             instance.get("_exec_ldin"),
             instance.get("_exec_stout"),
@@ -241,7 +450,7 @@ class FFTASIP(Machine):
             return self._make_ldin_burst(first, len(instrs))
         if op is Opcode.STOUT and identical:
             return self._make_stout_burst(first, len(instrs))
-        if op is Opcode.BUT4 and not self.fixed_point:
+        if op is Opcode.BUT4 and (not self.fixed_point or self.int_datapath):
             return self._make_but4_burst(instrs)
         return None
 
@@ -249,12 +458,15 @@ class FFTASIP(Machine):
         def burst(self=self, rs=instr.rs, rt=instr.rt, count=count):
             size = self._group_size()
             stride = self._stride()
-            mem = self.read_reg(rs)
-            crf_pos = self.read_reg(rt)
             stats = self.stats
             ops = stats.custom_ops
             ops["ldin"] = ops.get("ldin", 0) + count
             stats.loads += count
+            if (self._batch is not None or self.int_datapath
+                    or not self.fixed_point):
+                return self._ldin_burst_fast(rs, rt, count, size, stride)
+            mem = self.read_reg(rs)
+            crf_pos = self.read_reg(rt)
             crf = self.crf
             memory = self.memory
             fixed = self.fixed_point
@@ -311,12 +523,17 @@ class FFTASIP(Machine):
                   prerotate=bool(instr.imm & 1), count=count):
             size = self._group_size()
             stride = self._stride(STOUT_STRIDE_REG)
-            crf_pos = self.read_reg(rs)
-            mem = self.read_reg(rt)
             stats = self.stats
             ops = stats.custom_ops
             ops["stout"] = ops.get("stout", 0) + count
             stats.stores += count
+            if (self._batch is not None or self.int_datapath
+                    or not self.fixed_point):
+                return self._stout_burst_fast(
+                    rs, rt, prerotate, count, size, stride
+                )
+            crf_pos = self.read_reg(rs)
+            mem = self.read_reg(rt)
             crf = self.crf
             memory = self.memory
             dcache = self.dcache
@@ -406,6 +623,192 @@ class FFTASIP(Machine):
             return count * (self.pipeline.but4_latency - 1)
         return burst
 
+    # Vectorised LDIN/STOUT machinery -------------------------------------
+    #
+    # The fast paths (int-array Q1.15 serial bursts and the multi-symbol
+    # batch axis) split each burst into three phases with identical
+    # architectural effect to the per-op loop: (1) run the hardware
+    # address sequencer for the whole burst, (2) account every cache beat
+    # in op order, (3) move the data as whole-column numpy ops.  CRF
+    # scatter chunks never exceed the group size, so positions within a
+    # chunk are unique and scatter order equals the sequential writes.
+
+    def _sequence_walk(self, kind: str, size: int, stride: int,
+                       mem: int, count: int) -> tuple:
+        """Address walk of ``count`` two-point ops; mutates the flow state.
+
+        Returns ``(addresses, final_cursor)`` with ``addresses`` shaped
+        ``(count, 2)`` — exactly the pairs the per-op loop would touch,
+        with the flow state left as ``count`` calls of
+        :meth:`_advance_cursor` would leave it.
+        """
+        flow = self._flow[kind]
+        group_count, group_start = flow
+        addresses = np.empty((count, 2), dtype=np.int64)
+        for k in range(count):
+            if group_count == 0:
+                group_start = mem
+            addresses[k, 0] = mem
+            addresses[k, 1] = mem + stride
+            group_count += 2
+            if group_count >= size:
+                mem = group_start + (1 if stride > 1 else size)
+                group_count = 0
+                group_start = mem
+            else:
+                mem += 2 * stride
+        flow[0] = group_count
+        flow[1] = group_start
+        return addresses, mem
+
+    def _account_cache_walk(self, addresses: np.ndarray,
+                            is_write: bool) -> int:
+        """Cache-account a burst's bus beats in op order; returns extra
+        cycles (non-zero only with ``charge_cache_latency``)."""
+        dcache = self.dcache
+        if dcache is None:
+            return 0
+        batch = self._batch
+        trace = batch.trace if batch is not None else None
+        access = dcache.access
+        hit_latency = dcache.config.hit_latency
+        charge = self.charge_cache_latency
+        hits = misses = 0
+        extra = 0
+        for first, second in addresses.tolist():
+            if trace is not None:
+                trace.append((first, is_write))
+                trace.append((second, is_write))
+            latency_a = access(first, is_write)
+            latency_b = access(second, is_write)
+            hits += (latency_a == hit_latency) + (latency_b == hit_latency)
+            misses += (latency_a > hit_latency) + (latency_b > hit_latency)
+            if charge:
+                extra += max(latency_a, latency_b) - hit_latency
+        self.stats.dcache_hits += hits
+        self.stats.dcache_misses += misses
+        return extra
+
+    def _ldin_burst_fast(self, rs: int, rt: int, count: int,
+                         size: int, stride: int) -> int:
+        mem = self.read_reg(rs)
+        crf_start = self.read_reg(rt)
+        addresses, mem_final = self._sequence_walk(
+            "ldin", size, stride, mem, count
+        )
+        extra = self._account_cache_walk(addresses, is_write=False)
+        flat = addresses.reshape(-1)
+        if self._batch is not None:
+            self._check_window(flat, "LDIN")
+        offsets = np.arange(2 * count, dtype=np.int64)
+        for lo in range(0, 2 * count, size):
+            chunk = slice(lo, min(lo + size, 2 * count))
+            positions = (crf_start + offsets[chunk]) % size
+            self._ldin_move(flat[chunk], positions)
+        self.write_reg(rs, int(mem_final))
+        self.write_reg(rt, int((crf_start + 2 * count) % size))
+        return count * (self.pipeline.custom_mem_latency - 1) + extra
+
+    def _ldin_move(self, flat: np.ndarray, positions: np.ndarray) -> None:
+        """Move one chunk of LDIN points memory -> CRF as columns."""
+        batch = self._batch
+        if batch is not None:
+            fresh = ~batch.written[flat]
+            if fresh.any():
+                batch.suspect[flat[fresh]] = True
+            if batch.fixed:
+                self.crf.write_many_fixed(
+                    positions, batch.re[:, flat], batch.im[:, flat]
+                )
+            else:
+                self.crf.write_many(positions, batch.data[:, flat])
+            return
+        if self.int_datapath:
+            # Serial int-array path: unpacking the 16-bit fields IS the
+            # read_complex + quantize round trip (every stored point is
+            # on the Q1.15 grid).
+            re, im = words_to_fixed_array(self.memory.gather_words(flat))
+            self.crf.write_many_fixed(positions, re, im)
+        else:
+            self.crf.write_many(positions, self.memory.gather_complex(flat))
+
+    def _stout_burst_fast(self, rs: int, rt: int, prerotate: bool,
+                          count: int, size: int, stride: int) -> int:
+        crf_start = self.read_reg(rs)
+        mem = self.read_reg(rt)
+        addresses, mem_final = self._sequence_walk(
+            "stout", size, stride, mem, count
+        )
+        extra = self._account_cache_walk(addresses, is_write=True)
+        flat = addresses.reshape(-1)
+        if self._batch is not None:
+            self._check_window(flat, "STOUT")
+        offsets = np.arange(2 * count, dtype=np.int64)
+        for lo in range(0, 2 * count, size):
+            chunk = slice(lo, min(lo + size, 2 * count))
+            positions = (crf_start + offsets[chunk]) % size
+            self._stout_move(flat[chunk], positions, prerotate)
+        self.write_reg(rs, int((crf_start + 2 * count) % size))
+        self.write_reg(rt, int(mem_final))
+        return count * (self.pipeline.custom_mem_latency - 1) + extra
+
+    def _stout_move(self, flat: np.ndarray, positions: np.ndarray,
+                    prerotate: bool) -> None:
+        """Move one chunk of STOUT points CRF -> memory as columns."""
+        batch = self._batch
+        if batch is not None:
+            batch.written[flat] = True
+        crf = self.crf
+        if crf.int_mode:
+            re, im = crf.read_many_fixed(positions)
+            if prerotate:
+                rel = self._scratch_rel(flat)
+                pre_re, pre_im = self._prerot_components
+                re, im = self.fx.multiply_arrays(
+                    re, im, pre_re[rel], pre_im[rel]
+                )
+            if batch is not None:
+                batch.re[:, flat] = re
+                batch.im[:, flat] = im
+            else:
+                self.memory.scatter_words(
+                    flat, fixed_to_words_array(re, im)
+                )
+            return
+        values = crf.read_many(positions)
+        if prerotate:
+            rel = self._scratch_rel(flat)
+            values = values * self._prerotation_table()[rel]
+        if batch is not None:
+            batch.data[:, flat] = values
+        else:
+            self.memory.scatter_complex(flat, values)
+
+    def _scratch_rel(self, flat: np.ndarray) -> np.ndarray:
+        """Scratch-relative indices of pre-rotating STOUT addresses."""
+        rel = flat - self.scratch_base
+        if rel.size and (
+            int(rel.min()) < 0 or int(rel.max()) >= self.n_points
+        ):
+            raise SimulationError(
+                f"pre-rotating STOUT targets addresses outside the "
+                f"scratch region [{self.scratch_base}, "
+                f"{self.scratch_base + self.n_points})"
+            )
+        self._prerotation_table()  # ensure the weight tables exist
+        return rel
+
+    def _check_window(self, flat: np.ndarray, op: str) -> None:
+        """Batched custom ops must stay inside the staged data regions."""
+        window = self._batch.window
+        if flat.size and (
+            int(flat.min()) < 0 or int(flat.max()) >= window
+        ):
+            raise SimulationError(
+                f"batched {op} touches memory outside the data regions "
+                f"[0, {window}); run such programs serially"
+            )
+
     def _group_size(self) -> int:
         size = self.read_reg(GROUP_SIZE_REG)
         if size <= 0:
@@ -428,10 +831,11 @@ class FFTASIP(Machine):
         size = self._group_size()
         module = self.read_reg(instr.rs)
         stage = self.read_reg(instr.rt)
-        # The whole-column fast path pays off for the float datapath; the
-        # Q1.15 path keeps the bit-true scalar lanes (4-lane numpy arrays
-        # cost more in call overhead than they save in arithmetic).
-        if self.vectorized and not self.fixed_point:
+        # Whole-column fast path: float lanes, or Q1.15 on the int-array
+        # CRF (bit-identical component ops).  The complex-entry Q1.15
+        # configuration keeps the bit-true scalar lanes (4-lane numpy on
+        # boxed values costs more in call overhead than it saves).
+        if self.vectorized and (not self.fixed_point or self.int_datapath):
             reads, rom_addresses, writes, lanes = self.ac.index_arrays(
                 module, stage
             )
@@ -479,12 +883,22 @@ class FFTASIP(Machine):
         # The two bus beats, unrolled (the 64-bit bus moves two points).
         second_address = mem + stride
         extra = self._probe_cache_pair(mem, second_address, is_write=False)
-        first, second = self.memory.read_complex_pair(mem, second_address)
-        if self.fixed_point:
-            first = quantize(complex(first)).to_complex()
-            second = quantize(complex(second)).to_complex()
-        self.crf.write(crf % size, first)
-        self.crf.write((crf + 1) % size, second)
+        if self._batch is not None:
+            flat = np.array([mem, second_address], dtype=np.int64)
+            self._check_window(flat, "LDIN")
+            positions = np.array(
+                [crf % size, (crf + 1) % size], dtype=np.int64
+            )
+            self._ldin_move(flat, positions)
+        else:
+            first, second = self.memory.read_complex_pair(
+                mem, second_address
+            )
+            if self.fixed_point:
+                first = quantize(complex(first)).to_complex()
+                second = quantize(complex(second)).to_complex()
+            self.crf.write(crf % size, first)
+            self.crf.write((crf + 1) % size, second)
         self.write_reg(instr.rs, self._advance_cursor("ldin", size, stride, mem))
         self.write_reg(instr.rt, (crf + 2) % size)
         return self.pipeline.custom_mem_latency - 1 + extra
@@ -499,12 +913,22 @@ class FFTASIP(Machine):
         prerotate = bool(instr.imm & 1)
         second_address = mem + stride
         extra = self._probe_cache_pair(mem, second_address, is_write=True)
-        first = self.crf.read(crf % size)
-        second = self.crf.read((crf + 1) % size)
-        if prerotate:
-            first = self._apply_prerotation(mem, first)
-            second = self._apply_prerotation(second_address, second)
-        self.memory.write_complex_pair(mem, second_address, first, second)
+        if self._batch is not None:
+            flat = np.array([mem, second_address], dtype=np.int64)
+            self._check_window(flat, "STOUT")
+            positions = np.array(
+                [crf % size, (crf + 1) % size], dtype=np.int64
+            )
+            self._stout_move(flat, positions, prerotate)
+        else:
+            first = self.crf.read(crf % size)
+            second = self.crf.read((crf + 1) % size)
+            if prerotate:
+                first = self._apply_prerotation(mem, first)
+                second = self._apply_prerotation(second_address, second)
+            self.memory.write_complex_pair(
+                mem, second_address, first, second
+            )
         self.write_reg(instr.rs, (crf + 2) % size)
         self.write_reg(instr.rt, self._advance_cursor("stout", size, stride, mem))
         return self.pipeline.custom_mem_latency - 1 + extra
@@ -518,6 +942,7 @@ class FFTASIP(Machine):
             ).reshape(-1)
             if self.fixed_point:
                 re, im = quantize_array(self._prerot_flat)
+                self._prerot_components = (re, im)
                 self._prerot_fx = [
                     FixedComplex(int(r), int(i)) for r, i in zip(re, im)
                 ]
@@ -552,6 +977,10 @@ class FFTASIP(Machine):
         dcache = self.dcache
         if dcache is None:
             return 0
+        batch = self._batch
+        if batch is not None and batch.trace is not None:
+            batch.trace.append((first, is_write))
+            batch.trace.append((second, is_write))
         stats = self.stats
         hit_latency = dcache.config.hit_latency
         latency_a = dcache.access(first, is_write)
@@ -564,6 +993,36 @@ class FFTASIP(Machine):
         if not self.charge_cache_latency:
             return 0
         return max(latency_a, latency_b) - hit_latency
+
+
+class _SymbolBatch:
+    """Data-plane state of one batched multi-symbol run.
+
+    Holds the ``(n_symbols, 3N)`` view of the ASIP's data regions —
+    complex for the float datapath, int64 Q1.15 component pairs for the
+    fixed one — plus the recorded data-cache access trace of the shared
+    address walk (None when the machine has no cache).
+    """
+
+    __slots__ = ("n", "window", "fixed", "data", "re", "im", "trace",
+                 "written", "suspect")
+
+    def __init__(self, n: int, window: int, fixed: bool):
+        self.n = n
+        self.window = window
+        self.fixed = fixed
+        self.data = None
+        self.re = None
+        self.im = None
+        self.trace = []
+        # Cross-symbol dataflow guard: ``written`` marks columns this run
+        # has produced (the staged input counts — it is re-staged per
+        # symbol either way); ``suspect`` marks columns read while still
+        # unwritten.  A column in both sets means the program consumed
+        # state a previous symbol would have produced — batching cannot
+        # reproduce the serial loop for such programs.
+        self.written = np.zeros(window, dtype=bool)
+        self.suspect = np.zeros(window, dtype=bool)
 
 
 class _SmallPreRotation:

@@ -7,6 +7,14 @@ program across a stream of input blocks, measuring the steady-state rate
 block.  It also exposes the per-symbol cycle variance — constant by
 construction in this design, which is itself a property worth asserting
 (no data-dependent control flow anywhere in Algorithm 1).
+
+Blocks are staged in multi-symbol chunks through
+:meth:`repro.asip.FFTASIP.run_batch`, so the fused LDIN/BUT4/STOUT walks
+execute over an ``(n_symbols, ...)`` batch axis in one numpy pass per
+burst while retiring per-symbol cycles and counters exactly as the
+serial loop does.  ``batch=1`` forces the serial loop (the benchmark
+baseline); machines the batch path cannot reproduce exactly fall back to
+it automatically.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ import numpy as np
 from ..sim.cache import CacheConfig
 from .codegen import generate_fft_program
 from .fft_asip import FFTASIP
-from .throughput import CLOCK_HZ, msamples_per_second
+from .throughput import CLOCK_HZ, msamples_per_second, paper_mbps
 
 __all__ = ["StreamStats", "StreamingFFT"]
 
@@ -47,13 +55,33 @@ class StreamStats:
         )
 
     @property
+    def mbps_paper_convention(self) -> float:
+        """Table I's Mbps convention (6 bits per sample point)."""
+        if not self.symbols:
+            return 0.0
+        return paper_mbps(
+            self.n_points * self.symbols, self.total_cycles, CLOCK_HZ
+        )
+
+    @property
     def is_deterministic(self) -> bool:
         """True when every symbol took exactly the same cycle count."""
         return len(set(self.per_symbol_cycles)) <= 1
 
+    def merge(self, other: "StreamStats") -> None:
+        """Fold another shard's results into this one (sharded streams)."""
+        if other.n_points != self.n_points:
+            raise ValueError("cannot merge streams of different sizes")
+        self.symbols += other.symbols
+        self.total_cycles += other.total_cycles
+        self.per_symbol_cycles.extend(other.per_symbol_cycles)
+
 
 class StreamingFFT:
     """Run a stream of blocks through one compiled program."""
+
+    #: Symbols per batched execution pass through ``run_batch``.
+    DEFAULT_BATCH = 64
 
     #: Symbols per batched verification pass — bounds the buffered input/
     #: output blocks on long streams while still amortising the reference
@@ -69,37 +97,50 @@ class StreamingFFT:
         self.n_points = n_points
         self.fixed_point = fixed_point
 
-    def process(self, blocks, verify: bool = True) -> StreamStats:
+    def process(self, blocks, verify: bool = True,
+                batch: int = None) -> StreamStats:
         """Transform each block in ``blocks``; returns stream statistics.
 
-        With ``verify`` (default) every output is checked against numpy —
-        a streamed run is only as good as its worst symbol.  References
-        come from batched ``np.fft.fft`` calls over chunks of
-        :attr:`VERIFY_CHUNK` symbols instead of one call per block, so
-        verification no longer dominates streamed-run wall-clock while
-        the buffered data stays bounded on arbitrarily long streams.
+        Blocks are buffered into chunks of ``batch`` symbols (default
+        :attr:`DEFAULT_BATCH`) and executed through
+        :meth:`FFTASIP.run_batch`; ``batch=1`` keeps the serial
+        one-symbol-at-a-time loop.  With ``verify`` (default) every
+        output is checked against numpy — a streamed run is only as good
+        as its worst symbol.  References come from batched
+        ``np.fft.fft`` calls over chunks of :attr:`VERIFY_CHUNK` symbols,
+        so verification does not dominate streamed wall-clock while the
+        buffered data stays bounded on arbitrarily long streams.
         """
+        batch = self.DEFAULT_BATCH if batch is None else max(int(batch), 1)
         stats = StreamStats(n_points=self.n_points)
+        pending = []
         inputs = []
         outputs = []
-        for block in blocks:
-            block = np.asarray(block, dtype=complex)
-            before = self.asip.stats.cycles
-            self.asip.load_input(block)
-            self.asip.run(self.program)
-            spent = self.asip.stats.cycles - before
-            stats.symbols += 1
-            stats.total_cycles += spent
-            stats.per_symbol_cycles.append(spent)
+
+        def flush() -> None:
+            if not pending:
+                return
+            chunk = np.stack(pending)
+            pending.clear()
+            spectra, cycles = self.asip.run_batch(self.program, chunk)
+            stats.symbols += len(chunk)
+            stats.total_cycles += int(sum(cycles))
+            stats.per_symbol_cycles.extend(int(c) for c in cycles)
             if verify:
-                # Copy: the caller may reuse one buffer per block, and
-                # the chunk is only FFT'd after later blocks arrive.
-                inputs.append(block.copy())
-                outputs.append(self.asip.read_output())
+                inputs.extend(chunk)
+                outputs.extend(spectra)
                 if len(inputs) >= self.VERIFY_CHUNK:
                     self._verify_chunk(inputs, outputs, stats.symbols)
                     inputs.clear()
                     outputs.clear()
+
+        for block in blocks:
+            # Copy: the caller may reuse one buffer per block, and the
+            # chunk only executes after later blocks arrive.
+            pending.append(np.array(block, dtype=complex))
+            if len(pending) >= batch:
+                flush()
+        flush()
         if verify and inputs:
             self._verify_chunk(inputs, outputs, stats.symbols)
         return stats

@@ -6,6 +6,8 @@ Usage::
     python -m repro table2 [--size N]   # Table II four-way comparison
     python -m repro hw [--group-size P] # Section IV hardware cost
     python -m repro fft --size N        # one verified ASIP simulation
+    python -m repro stream --size N --symbols K [--workers W]
+                                        # steady-state streamed throughput
     python -m repro listing --size N    # the generated program listing
 """
 
@@ -48,6 +50,20 @@ def build_parser() -> argparse.ArgumentParser:
     fft.add_argument("--size", type=int, default=1024)
     fft.add_argument("--fixed-point", action="store_true")
     fft.add_argument("--seed", type=int, default=0)
+
+    stream = sub.add_parser(
+        "stream", help="streamed multi-symbol ASIP throughput"
+    )
+    stream.add_argument("--size", type=int, default=1024)
+    stream.add_argument("--symbols", type=int, default=64)
+    stream.add_argument("--workers", type=int, default=1,
+                        help="shard the stream across worker processes")
+    stream.add_argument("--batch", type=int, default=None,
+                        help="symbols per batched execution pass")
+    stream.add_argument("--fixed-point", action="store_true")
+    stream.add_argument("--no-verify", action="store_true",
+                        help="skip per-symbol output verification")
+    stream.add_argument("--seed", type=int, default=0)
 
     listing = sub.add_parser("listing", help="show the generated program")
     listing.add_argument("--size", type=int, default=64)
@@ -123,6 +139,44 @@ def _cmd_fft(size: int, fixed_point: bool, seed: int) -> str:
     return "\n".join(lines)
 
 
+def _cmd_stream(size: int, symbols: int, workers: int, batch: int,
+                fixed_point: bool, verify: bool, seed: int) -> str:
+    import time
+
+    from .asip.streaming import StreamingFFT
+    from .core.parallel import stream_sharded
+
+    rng = np.random.default_rng(seed)
+    blocks = rng.standard_normal((symbols, size)) + 1j * rng.standard_normal(
+        (symbols, size)
+    )
+    if fixed_point:
+        blocks *= 0.25
+    started = time.perf_counter()
+    if workers and workers >= 2:
+        stats = stream_sharded(
+            size, blocks, workers=workers, fixed_point=fixed_point,
+            verify=verify, batch=batch,
+        )
+    else:
+        stats = StreamingFFT(size, fixed_point=fixed_point).process(
+            blocks, verify=verify, batch=batch
+        )
+    elapsed = time.perf_counter() - started
+    datapath = "Q1.15" if fixed_point else "float"
+    lines = [
+        f"N = {size}  ({datapath} datapath)  symbols = {stats.symbols}"
+        + (f"  workers = {workers}" if workers and workers >= 2 else ""),
+        f"cycles/symbol = {stats.cycles_per_symbol:.1f}"
+        f"   deterministic = {stats.is_deterministic}",
+        f"steady-state throughput = {stats.msamples_per_second:.1f} "
+        f"Msample/s ({stats.mbps_paper_convention:.1f} Mbps, 6-bit conv.)",
+        f"host wall-clock = {elapsed:.2f} s "
+        f"({stats.symbols / elapsed:.1f} symbols/s simulated)",
+    ]
+    return "\n".join(lines)
+
+
 def _cmd_listing(size: int) -> str:
     return generate_fft_program(size).listing()
 
@@ -138,6 +192,11 @@ def main(argv=None) -> int:
         print(_cmd_hw(args.group_size))
     elif args.command == "fft":
         print(_cmd_fft(args.size, args.fixed_point, args.seed))
+    elif args.command == "stream":
+        print(_cmd_stream(
+            args.size, args.symbols, args.workers, args.batch,
+            args.fixed_point, not args.no_verify, args.seed,
+        ))
     elif args.command == "listing":
         print(_cmd_listing(args.size))
     elif args.command == "report":

@@ -13,12 +13,16 @@ from .fixed_point import (
     round_shift_array,
     snr_db,
 )
+from .parallel import ShardedEngine, available_workers, stream_sharded
 from .plan import ArrayFFTPlan, EpochPlan, StagePlan, build_plan
 from .schedule import BUOp, horizontal_schedule, interleaved_schedule
 
 __all__ = [
     "ArrayFFT",
     "array_fft",
+    "ShardedEngine",
+    "available_workers",
+    "stream_sharded",
     "CompiledArrayFFT",
     "CompiledStage",
     "InterleavedArrayFFT",

@@ -266,19 +266,55 @@ class ArrayFFT:
 # FFT sizes are powers of two, so the cache stays tiny in practice.
 _ENGINE_CACHE: dict = {}
 _ENGINE_CACHE_LIMIT = 64
+# Sharded engines carry a live worker pool, so they are cached separately
+# keyed on (N, fixed_point, workers).
+_SHARDED_CACHE: dict = {}
+_SHARDED_CACHE_LIMIT = 8
 
 
-def array_fft(x, fixed_point: bool = False) -> np.ndarray:
-    """One-shot convenience wrapper around :class:`ArrayFFT`.
-
-    Engines are cached keyed on ``(len(x), fixed_point)`` so repeated
-    calls reuse the compiled plan instead of rebuilding it every time.
-    """
-    x = np.asarray(x, dtype=complex)
-    key = (len(x), fixed_point)
+def _cached_engine(n_points: int, fixed_point: bool) -> "ArrayFFT":
+    key = (n_points, fixed_point)
     engine = _ENGINE_CACHE.get(key)
     if engine is None:
         if len(_ENGINE_CACHE) >= _ENGINE_CACHE_LIMIT:
             _ENGINE_CACHE.clear()
-        engine = _ENGINE_CACHE[key] = ArrayFFT(len(x), fixed_point=fixed_point)
-    return engine.transform(x)
+        engine = _ENGINE_CACHE[key] = ArrayFFT(
+            n_points, fixed_point=fixed_point
+        )
+    return engine
+
+
+def array_fft(x, fixed_point: bool = False, workers: int = None) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`ArrayFFT`.
+
+    Accepts a single N-point vector or an ``(n_symbols, N)`` batch.
+    Engines are cached keyed on ``(N, fixed_point)`` so repeated calls
+    reuse the compiled plan instead of rebuilding it every time.  With
+    ``workers >= 2`` a batch is sharded across a cached process pool
+    (:class:`~repro.core.parallel.ShardedEngine`), falling back to the
+    serial engine for small batches or when workers are unavailable.
+    """
+    x = np.asarray(x, dtype=complex)
+    if x.ndim == 2:
+        if workers is not None and workers >= 2:
+            return _cached_sharded(
+                x.shape[1], fixed_point, workers
+            ).transform_many(x)
+        return _cached_engine(x.shape[1], fixed_point).transform_many(x)
+    return _cached_engine(len(x), fixed_point).transform(x)
+
+
+def _cached_sharded(n_points: int, fixed_point: bool, workers: int):
+    from .parallel import ShardedEngine
+
+    key = (n_points, fixed_point, workers)
+    engine = _SHARDED_CACHE.get(key)
+    if engine is None:
+        if len(_SHARDED_CACHE) >= _SHARDED_CACHE_LIMIT:
+            for old in _SHARDED_CACHE.values():
+                old.close()
+            _SHARDED_CACHE.clear()
+        engine = _SHARDED_CACHE[key] = ShardedEngine(
+            n_points, fixed_point=fixed_point, workers=workers
+        )
+    return engine

@@ -25,6 +25,8 @@ __all__ = [
     "quantize_array",
     "round_shift_array",
     "fixed_to_complex_array",
+    "words_to_fixed_array",
+    "fixed_to_words_array",
     "snr_db",
 ]
 
@@ -101,19 +103,47 @@ def quantize_array(values) -> tuple:
 
 
 def round_shift_array(v: np.ndarray, bits: int) -> np.ndarray:
-    """Array form of :func:`_round_shift` (ties away from zero)."""
+    """Array form of :func:`_round_shift` (ties away from zero).
+
+    Branchless: shift the magnitude, restore the sign (``x ^ s - s`` with
+    the arithmetic sign fill ``s``) — element-wise equal to the scalar
+    form, without materialising both branches of a ``where``.
+    """
     if bits <= 0:
         return v << (-bits)
     half = 1 << (bits - 1)
-    return np.where(v >= 0, (v + half) >> bits, -((-v + half) >> bits))
+    sign = v >> (v.dtype.itemsize * 8 - 1)
+    magnitude = (np.abs(v) + half) >> bits
+    return (magnitude ^ sign) - sign
 
 
 def fixed_to_complex_array(re: np.ndarray, im: np.ndarray) -> np.ndarray:
     """Back-convert integer (re, im) arrays to float complex."""
-    out = np.empty(re.shape, dtype=complex)
+    out = np.empty(np.shape(re), dtype=complex)
     out.real = re / _SCALE
     out.imag = im / _SCALE
     return out
+
+
+def words_to_fixed_array(words) -> tuple:
+    """Unpack 32-bit memory words into Q1.15 int64 ``(re, im)`` components.
+
+    Element ``k`` equals ``FixedComplex.from_words(words[k] >> 16,
+    words[k])`` exactly: 16-bit fields, sign-extended.
+    """
+    words = np.asarray(words, dtype=np.int64)
+    re = (words >> 16) & 0xFFFF
+    im = words & 0xFFFF
+    re = re - ((re & 0x8000) << 1)
+    im = im - ((im & 0x8000) << 1)
+    return re, im
+
+
+def fixed_to_words_array(re: np.ndarray, im: np.ndarray) -> np.ndarray:
+    """Pack Q1.15 components into 32-bit words (``FixedComplex.to_words``)."""
+    return ((np.asarray(re, dtype=np.int64) & 0xFFFF) << 16) | (
+        np.asarray(im, dtype=np.int64) & 0xFFFF
+    )
 
 
 class FixedPointContext:
@@ -175,10 +205,13 @@ class FixedPointContext:
     # path uses, with identical totals for identical inputs.
 
     def _narrow_array(self, v: np.ndarray) -> np.ndarray:
-        over = int(np.count_nonzero((v > _MAX) | (v < _MIN)))
+        # minimum/maximum are plain ufuncs (np.clip pays a dispatch tax
+        # per call that dominates on short butterfly columns).
+        clipped = np.minimum(np.maximum(v, _MIN), _MAX)
+        over = int(np.count_nonzero(clipped != v))
         if over:
             self.overflow_count += over
-        return np.clip(v, _MIN, _MAX)
+        return clipped
 
     def multiply_arrays(self, xr, xi, wr, wi) -> tuple:
         """Element-wise complex multiply with 30->15 bit rounding."""

@@ -1,0 +1,286 @@
+"""Sharded parallel batch engine: ``transform_many`` across a process pool.
+
+One :class:`ShardedEngine` owns a serial :class:`~repro.core.ArrayFFT`
+and, lazily, a worker pool.  Large ``(n_symbols, N)`` batches are split
+into one shard per worker and transformed concurrently; each worker
+process builds its engine (plan, ROM, pre-rotation store, compiled
+tables) exactly once via the pool initializer, so per-call traffic is
+only the shard data.  The compiled datapaths are deterministic
+element-wise per symbol, so sharded output is bit-identical to the
+serial path — asserted in ``tests/test_parallel.py``.
+
+Robustness rules (all covered by tests):
+
+* batches below ``min_parallel_symbols`` run serially — fan-out overhead
+  would swamp the win;
+* ``workers < 2`` never builds a pool;
+* any pool failure (spawn refusal, broken pool, pickling error) marks
+  the pool broken and falls back to the serial engine for the rest of
+  the engine's life — results are always produced.
+
+Fixed-point bookkeeping survives sharding: workers report their
+overflow-count deltas, which are folded into the parent engine's
+:class:`FixedPointContext`, and the parent's ``ButterflyUnit`` op count
+advances by the plan total per symbol exactly as the serial path does.
+
+The module also shards the *instruction-level* streaming workload:
+:func:`stream_sharded` splits a symbol stream across worker processes
+each running a :class:`~repro.asip.streaming.StreamingFFT` and merges
+the per-shard :class:`StreamStats` (cycle counts are deterministic, so
+the merged totals equal a single-machine run).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from .array_fft import ArrayFFT
+
+__all__ = ["ShardedEngine", "available_workers", "stream_sharded"]
+
+
+def available_workers() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _pool_context():
+    """Prefer fork (cheap, shares the imported package); fall back."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+# Per-worker-process state, installed once by the pool initializer.
+_WORKER_ENGINE = None
+_WORKER_STREAM = None
+
+
+def _init_transform_worker(n_points: int, fixed_point: bool) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = ArrayFFT(n_points, fixed_point=fixed_point)
+    _WORKER_ENGINE.compiled_engine()  # build the plan tables once
+
+
+def _run_transform_shard(task):
+    direction, blocks = task
+    engine = _WORKER_ENGINE
+    before = engine.fx.overflow_count if engine.fixed_point else 0
+    if direction == "inverse":
+        out = engine.inverse_many(blocks)
+    else:
+        out = engine.transform_many(blocks)
+    overflow = (
+        engine.fx.overflow_count - before if engine.fixed_point else 0
+    )
+    return out, overflow
+
+
+def _init_stream_worker(n_points: int, fixed_point: bool) -> None:
+    global _WORKER_STREAM
+    from ..asip.streaming import StreamingFFT
+
+    _WORKER_STREAM = StreamingFFT(n_points, fixed_point=fixed_point)
+
+
+def _run_stream_shard(task):
+    blocks, verify, batch = task
+    return _WORKER_STREAM.process(blocks, verify=verify, batch=batch)
+
+
+class ShardedEngine:
+    """Batch FFT engine that shards ``transform_many`` across processes.
+
+    Parameters
+    ----------
+    n_points, fixed_point:
+        As for :class:`ArrayFFT`.
+    workers:
+        Pool size; defaults to :func:`available_workers`.  Values below 2
+        disable the pool entirely.
+    min_parallel_symbols:
+        Smallest batch worth fanning out (default
+        :attr:`MIN_PARALLEL_SYMBOLS`); smaller batches run serially.
+    """
+
+    MIN_PARALLEL_SYMBOLS = 64
+
+    def __init__(self, n_points: int, fixed_point: bool = False,
+                 workers: int = None, min_parallel_symbols: int = None):
+        self.engine = ArrayFFT(n_points, fixed_point=fixed_point)
+        self.fixed_point = fixed_point
+        self.workers = (
+            available_workers() if workers is None else max(int(workers), 0)
+        )
+        self.min_parallel_symbols = (
+            self.MIN_PARALLEL_SYMBOLS if min_parallel_symbols is None
+            else max(int(min_parallel_symbols), 1)
+        )
+        self._pool = None
+        self._pool_broken = False
+
+    @property
+    def n_points(self) -> int:
+        """FFT size N."""
+        return self.engine.n_points
+
+    @property
+    def plan(self):
+        """The underlying :class:`ArrayFFTPlan`."""
+        return self.engine.plan
+
+    # Single-symbol passthrough (OfdmLink's transmitter etc.) -------------
+
+    def transform(self, x) -> np.ndarray:
+        """Serial single-symbol transform on the inner engine."""
+        return self.engine.transform(x)
+
+    def inverse(self, spectrum) -> np.ndarray:
+        """Serial single-symbol inverse on the inner engine."""
+        return self.engine.inverse(spectrum)
+
+    # Sharded batch API ----------------------------------------------------
+
+    def transform_many(self, blocks) -> np.ndarray:
+        """Batch forward transform, sharded across the pool."""
+        return self._run_many(blocks, "forward")
+
+    def inverse_many(self, spectra) -> np.ndarray:
+        """Batch inverse transform, sharded across the pool."""
+        return self._run_many(spectra, "inverse")
+
+    def _run_many(self, blocks, direction: str) -> np.ndarray:
+        blocks = np.asarray(blocks, dtype=complex)
+        if blocks.ndim != 2 or blocks.shape[1] != self.n_points:
+            raise ValueError(
+                f"expected an (n_symbols, {self.n_points}) matrix, "
+                f"got shape {blocks.shape}"
+            )
+        if (self.workers < 2 or self._pool_broken
+                or len(blocks) < self.min_parallel_symbols):
+            return self._run_serial(blocks, direction)
+        pool = self._ensure_pool()
+        if pool is None:
+            return self._run_serial(blocks, direction)
+        shards = [
+            shard for shard in np.array_split(blocks, self.workers)
+            if len(shard)
+        ]
+        try:
+            results = list(
+                pool.map(_run_transform_shard,
+                         [(direction, shard) for shard in shards])
+            )
+        except Exception:
+            # Broken pool / pickling trouble: never again, never fail.
+            self._mark_broken()
+            return self._run_serial(blocks, direction)
+        out = np.concatenate([result[0] for result in results])
+        if self.fixed_point:
+            self.engine.fx.overflow_count += sum(
+                result[1] for result in results
+            )
+        # Mirror the serial path's op accounting on the parent engine.
+        self.engine.bu.op_count += len(blocks) * self.plan.total_but4
+        return out
+
+    def _run_serial(self, blocks: np.ndarray, direction: str) -> np.ndarray:
+        if direction == "inverse":
+            return self.engine.inverse_many(blocks)
+        return self.engine.transform_many(blocks)
+
+    # Pool lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None and not self._pool_broken:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=_pool_context(),
+                    initializer=_init_transform_worker,
+                    initargs=(self.n_points, self.fixed_point),
+                )
+            except Exception:
+                self._mark_broken()
+        return self._pool
+
+    def _mark_broken(self) -> None:
+        self._pool_broken = True
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown ordering
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def stream_sharded(n_points: int, blocks, workers: int = None,
+                   fixed_point: bool = False, verify: bool = True,
+                   batch: int = None):
+    """Shard a symbol stream across worker processes running the ASIP.
+
+    Splits ``blocks`` (an ``(n_symbols, N)`` array or list of blocks)
+    into one shard per worker, runs each through a worker-local
+    :class:`StreamingFFT`, and merges the resulting
+    :class:`StreamStats`.  Per-symbol cycle counts are deterministic, so
+    the merged totals are identical to a single-machine run; only host
+    wall-clock changes.  Falls back to a local streamed run when the
+    pool is unavailable or the stream is too short to shard.
+    """
+    from ..asip.streaming import StreamingFFT, StreamStats
+
+    blocks = np.asarray(blocks, dtype=complex)
+    if blocks.ndim != 2 or blocks.shape[1] != n_points:
+        raise ValueError(
+            f"expected an (n_symbols, {n_points}) stream, "
+            f"got shape {blocks.shape}"
+        )
+    workers = available_workers() if workers is None else max(int(workers), 0)
+    if workers < 2 or len(blocks) < 2 * workers:
+        return StreamingFFT(n_points, fixed_point=fixed_point).process(
+            blocks, verify=verify, batch=batch
+        )
+    shards = [s for s in np.array_split(blocks, workers) if len(s)]
+    merged = StreamStats(n_points=n_points)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(),
+            initializer=_init_stream_worker,
+            initargs=(n_points, fixed_point),
+        ) as pool:
+            results = list(
+                pool.map(_run_stream_shard,
+                         [(shard, verify, batch) for shard in shards])
+            )
+    except Exception:
+        return StreamingFFT(n_points, fixed_point=fixed_point).process(
+            blocks, verify=verify, batch=batch
+        )
+    for shard_stats in results:
+        merged.merge(shard_stats)
+    return merged

@@ -7,27 +7,36 @@ import numpy as np
 __all__ = ["awgn", "MultipathChannel", "ebn0_to_noise_sigma"]
 
 
-def ebn0_to_noise_sigma(snr_db: float, signal_power: float = 1.0) -> float:
-    """Per-complex-sample noise sigma for a target SNR in dB."""
-    noise_power = signal_power / (10.0 ** (snr_db / 10.0))
-    return float(np.sqrt(noise_power / 2.0))
+def ebn0_to_noise_sigma(snr_db: float, signal_power=1.0):
+    """Per-complex-sample noise sigma for a target SNR in dB.
+
+    ``signal_power`` may be a scalar or an array of per-symbol powers;
+    the result has the same shape (a float for scalar input).
+    """
+    noise_power = np.asarray(signal_power) / (10.0 ** (snr_db / 10.0))
+    sigma = np.sqrt(noise_power / 2.0)
+    return float(sigma) if sigma.ndim == 0 else sigma
 
 
 def awgn(signal, snr_db: float, rng=None) -> np.ndarray:
     """Add complex white Gaussian noise at the given SNR.
 
     SNR is measured against the empirical signal power, so the function
-    composes safely after IFFT scaling or channel gain.
+    composes safely after IFFT scaling or channel gain.  A 2-D
+    ``(n_symbols, N)`` batch is noised in one pass — a single rng draw
+    per component for the whole batch — with the power (and therefore
+    the noise sigma) measured per symbol, exactly as a per-symbol loop
+    would.
     """
     signal = np.asarray(signal, dtype=complex)
     rng = rng or np.random.default_rng()
-    power = float(np.mean(np.abs(signal) ** 2))
-    if power == 0:
+    power = np.mean(np.abs(signal) ** 2, axis=-1, keepdims=True)
+    if not power.any():
         return signal.copy()
     sigma = ebn0_to_noise_sigma(snr_db, power)
     noise = sigma * (
-        rng.standard_normal(len(signal))
-        + 1j * rng.standard_normal(len(signal))
+        rng.standard_normal(signal.shape)
+        + 1j * rng.standard_normal(signal.shape)
     )
     return signal + noise
 
@@ -46,13 +55,21 @@ class MultipathChannel:
             raise ValueError("channel needs at least one tap")
 
     def apply(self, signal) -> np.ndarray:
-        """Circular convolution of ``signal`` with the channel taps."""
+        """Circular convolution of ``signal`` with the channel taps.
+
+        Accepts one symbol or an ``(n_symbols, N)`` batch; the FFT-based
+        convolution runs along the last axis, so a whole burst goes
+        through in one vectorised pass.
+        """
         signal = np.asarray(signal, dtype=complex)
-        if len(self.taps) > len(signal):
+        n = signal.shape[-1]
+        if len(self.taps) > n:
             raise ValueError("channel longer than the OFDM symbol")
-        padded = np.zeros(len(signal), dtype=complex)
+        padded = np.zeros(n, dtype=complex)
         padded[: len(self.taps)] = self.taps
-        return np.fft.ifft(np.fft.fft(signal) * np.fft.fft(padded))
+        return np.fft.ifft(
+            np.fft.fft(signal, axis=-1) * np.fft.fft(padded), axis=-1
+        )
 
     def frequency_response(self, n_points: int) -> np.ndarray:
         """Per-subcarrier complex gain for an ``n_points`` FFT."""

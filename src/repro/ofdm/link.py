@@ -16,6 +16,7 @@ import numpy as np
 
 from ..asip.runner import simulate_fft
 from ..core.array_fft import ArrayFFT
+from ..core.parallel import ShardedEngine
 from .channel import MultipathChannel, awgn
 from .modulation import CONSTELLATIONS
 
@@ -49,11 +50,20 @@ class LinkResult:
 
 
 class OfdmLink:
-    """A single-symbol OFDM link with a pluggable FFT receiver stage."""
+    """An OFDM link with a pluggable FFT receiver stage.
+
+    ``workers >= 2`` shards the batched transmitter IFFT and (non-ASIP)
+    receiver FFT of :meth:`run_symbols` / :meth:`measure_ber` across a
+    process pool (:class:`~repro.core.parallel.ShardedEngine`); the
+    engine falls back to serial execution for small bursts or when
+    worker processes are unavailable, so results are identical either
+    way.
+    """
 
     def __init__(self, n_subcarriers: int, scheme: str = "qpsk",
                  channel: MultipathChannel = None, snr_db: float = 30.0,
-                 use_asip: bool = False, seed: int = 0):
+                 use_asip: bool = False, seed: int = 0,
+                 workers: int = None):
         if scheme not in CONSTELLATIONS:
             raise ValueError(f"unknown scheme {scheme!r}")
         self.n = n_subcarriers
@@ -62,12 +72,27 @@ class OfdmLink:
         self.snr_db = snr_db
         self.use_asip = use_asip
         self.rng = np.random.default_rng(seed)
-        self.engine = ArrayFFT(n_subcarriers)
+        if workers is not None and workers >= 2:
+            self.engine = ShardedEngine(n_subcarriers, workers=workers)
+        else:
+            self.engine = ArrayFFT(n_subcarriers)
 
     @property
     def bits_per_symbol(self) -> int:
         """Payload bits carried by one OFDM symbol."""
         return self.n * self.constellation.bits_per_symbol
+
+    def close(self) -> None:
+        """Release the engine's worker pool, if any (idempotent)."""
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "OfdmLink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def random_bits(self) -> np.ndarray:
         """A payload's worth of random bits."""
@@ -143,14 +168,13 @@ class OfdmLink:
             [self.constellation.map_bits(bits) for bits in payloads]
         )
         time_signals = self.engine.inverse_many(subcarriers) * self.n
+        # Channel and noise are applied to the whole burst at once: one
+        # FFT-based circular convolution and one rng draw per batch, with
+        # per-symbol noise power (awgn measures power along the last
+        # axis).
         if self.channel is not None:
-            time_signals = np.stack(
-                [self.channel.apply(signal) for signal in time_signals]
-            )
-        time_signals = np.stack(
-            [awgn(signal, self.snr_db, rng=self.rng)
-             for signal in time_signals]
-        )
+            time_signals = self.channel.apply(time_signals)
+        time_signals = awgn(time_signals, self.snr_db, rng=self.rng)
         equalised, cycles = self.receive_many(time_signals)
         return [
             LinkResult(

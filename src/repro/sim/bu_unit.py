@@ -38,25 +38,15 @@ class BUFunctionalUnit:
         ``reads``/``writes`` are the concatenated first+second index
         arrays from :meth:`AddressChangingLogic.index_arrays`.  Access
         counting (CRF reads/writes, ROM reads, BU op count) is identical
-        to the scalar :meth:`execute` path.  The arithmetic is the same
-        computation element-wise over the lanes: bit-identical on the
-        Q1.15 datapath, and equal to rounding noise (~1 ulp, numpy's
-        compiled complex multiply vs Python scalars) on the float one.
+        to the scalar :meth:`execute` path — per symbol when the CRF
+        carries a batch axis.  The arithmetic is the same computation
+        element-wise over the lanes (and any batch axis): bit-identical
+        on the Q1.15 int-array datapath, and equal to rounding noise
+        (~1 ulp, numpy's compiled complex multiply vs Python scalars) on
+        the float one.
         """
-        self.unit.op_count += 1
-        values = crf.read_many(reads)
-        a = values[:lanes]
-        b = values[lanes:]
-        w = rom.read_many_for_size(rom_addresses, group_size)
-        arithmetic = self.unit.arithmetic
-        if arithmetic is None:
-            t = w * b
-            out = np.empty_like(values)
-            np.add(a, t, out=out[:lanes])
-            np.subtract(a, t, out=out[lanes:])
-        else:
-            out = arithmetic.butterfly_column(a, b, w)
-        crf.write_shadow_many(writes, out)
+        self._execute_column(reads, rom_addresses, writes, lanes, 1,
+                             crf, rom, group_size)
 
     def execute_span(self, reads: np.ndarray, rom_addresses: np.ndarray,
                      writes: np.ndarray, lanes: int, ops: int,
@@ -67,24 +57,58 @@ class BUFunctionalUnit:
         ``reads``/``writes``/``rom_addresses`` come from
         :meth:`AddressChangingLogic.span_arrays`; counting equals ``ops``
         scalar executions (``op_count += ops``, one CRF read/write per
-        index, one ROM read per coefficient).  Float datapath only — the
-        Q1.15 path must go through :meth:`execute`/:meth:`execute_indices`
-        so quantisation and overflow accounting happen per lane.
+        index, one ROM read per coefficient, each per symbol in batch
+        mode).  Supports the float datapath and the int-array Q1.15 CRF;
+        a scalar-lane fixed-point configuration must go through
+        :meth:`execute`/:meth:`execute_indices` so quantisation happens
+        per lane.
         """
-        if self.unit.arithmetic is not None:
+        if self.unit.arithmetic is not None and not crf.int_mode:
             raise ValueError(
-                "execute_span supports only the float datapath; "
-                "fixed-point BUT4s must execute per op"
+                "execute_span supports only the float datapath or the "
+                "int-array Q1.15 CRF; scalar-lane fixed-point BUT4s must "
+                "execute per op"
             )
-        self.unit.op_count += ops
+        self._execute_column(reads, rom_addresses, writes, lanes, ops,
+                             crf, rom, group_size)
+
+    def _execute_column(self, reads, rom_addresses, writes, lanes, ops,
+                        crf, rom, group_size) -> None:
+        symbols = crf.batch or 1
+        self.unit.op_count += ops * symbols
+        rom_count = len(rom_addresses) * symbols
+        arithmetic = self.unit.arithmetic
+        if arithmetic is not None and crf.int_mode:
+            # Whole-column Q1.15: the int64 component arrays run through
+            # the vectorised FixedPointContext ops — bit-identical to the
+            # scalar lanes, overflow counts included.
+            fx = arithmetic.context
+            re, im = crf.read_many_fixed(reads)
+            wr, wi = rom.read_many_fixed_for_size(
+                rom_addresses, group_size, count=rom_count
+            )
+            sr, si, dr, di = fx.butterfly_arrays(
+                re[..., :lanes], im[..., :lanes],
+                re[..., lanes:], im[..., lanes:], wr, wi,
+            )
+            crf.write_shadow_many_fixed(
+                writes,
+                np.concatenate((sr, dr), axis=-1),
+                np.concatenate((si, di), axis=-1),
+            )
+            return
         values = crf.read_many(reads)
-        a = values[:lanes]
-        b = values[lanes:]
-        w = rom.read_many_for_size(rom_addresses, group_size)
-        t = w * b
-        out = np.empty_like(values)
-        np.add(a, t, out=out[:lanes])
-        np.subtract(a, t, out=out[lanes:])
+        a = values[..., :lanes]
+        b = values[..., lanes:]
+        w = rom.read_many_for_size(rom_addresses, group_size,
+                                   count=rom_count)
+        if arithmetic is None:
+            t = w * b
+            out = np.empty_like(values)
+            out[..., :lanes] = a + t
+            out[..., lanes:] = a - t
+        else:
+            out = arithmetic.butterfly_column(a, b, w)
         crf.write_shadow_many(writes, out)
 
     def execute(self, addresses: BUAddresses, crf: CustomRegisterFile,

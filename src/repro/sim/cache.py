@@ -104,6 +104,18 @@ class DataCache:
             self._dirty.add(block)
         return self.config.hit_latency + self.config.miss_penalty
 
+    def state_key(self) -> tuple:
+        """Hashable fingerprint of the full tag/LRU/dirty state.
+
+        Two caches with equal keys respond identically to any future
+        access sequence — the fixed-point test the batched symbol replay
+        uses to extrapolate per-symbol hit/miss counts exactly.
+        """
+        return (
+            tuple(tuple(ways) for ways in self._sets),
+            frozenset(self._dirty),
+        )
+
     @property
     def accesses(self) -> int:
         """Total accesses."""

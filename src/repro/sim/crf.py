@@ -6,13 +6,32 @@ its input column from one bank (at the AC-generated addresses) and writes
 its output column to the other bank at natural positions, then the banks
 swap — matching Fig. 2's two data columns sandwiching the butterflies.
 
-Entries are complex values; in fixed-point mode the ASIP quantises on
-load, so the CRF merely stores what it is given.
+Two storage modes model the same architectural state:
+
+* **complex mode** (default) — each bank is a complex vector; in
+  fixed-point operation the ASIP quantises on load, so every stored value
+  lies on the Q1.15 grid and the CRF merely stores what it is given.
+* **int mode** (``int_mode=True``) — each bank is a struct-of-arrays pair
+  of int64 ``re``/``im`` component vectors holding the Q1.15 integers
+  directly.  This is the storage the vectorised Q1.15 BUT4 path operates
+  on; the scalar accessors convert on the fly (losslessly, since every
+  value is on the grid), so the per-op oracle path stays bit-true.
+
+An optional leading **batch axis** (``batch=n``) turns every entry into a
+column of ``n`` symbols: gathers and scatters move ``(n, k)`` blocks and
+the access counters advance by ``n`` per architectural access, exactly as
+``n`` serial symbol runs would.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..core.fixed_point import (
+    fixed_to_complex_array,
+    quantize,
+    quantize_array,
+)
 
 __all__ = ["CustomRegisterFile"]
 
@@ -20,14 +39,22 @@ __all__ = ["CustomRegisterFile"]
 class CustomRegisterFile:
     """Double-banked register file of ``entries`` complex values."""
 
-    def __init__(self, entries: int):
+    def __init__(self, entries: int, int_mode: bool = False,
+                 batch: int = None):
         if entries <= 0:
             raise ValueError(f"CRF needs a positive size, got {entries}")
+        if batch is not None and batch <= 0:
+            raise ValueError(f"CRF batch must be positive, got {batch}")
         self.entries = entries
-        self._banks = [
-            np.zeros(entries, dtype=complex),
-            np.zeros(entries, dtype=complex),
-        ]
+        self.int_mode = bool(int_mode)
+        self.batch = batch
+        lead = () if batch is None else (batch,)
+        shape = (2,) + lead + (entries,)
+        if self.int_mode:
+            self._re = np.zeros(shape, dtype=np.int64)
+            self._im = np.zeros(shape, dtype=np.int64)
+        else:
+            self._data = np.zeros(shape, dtype=complex)
         self._active = 0
         self.reads = 0
         self.writes = 0
@@ -43,53 +70,179 @@ class CustomRegisterFile:
                 f"CRF address {address} out of range [0, {self.entries})"
             )
 
-    def read(self, address: int) -> complex:
-        """Read one entry from the active bank."""
-        self._check(address)
-        self.reads += 1
-        return complex(self._banks[self._active][address])
+    def _tally(self, count: int) -> int:
+        """Architectural accesses for ``count`` entry touches."""
+        return count if self.batch is None else count * self.batch
 
-    def write(self, address: int, value: complex) -> None:
+    # Scalar accessors (one entry — a symbol column in batch mode) --------
+
+    def read(self, address: int):
+        """Read one entry from the active bank.
+
+        Returns a Python complex (complex column in batch mode).
+        """
+        self._check(address)
+        self.reads += self._tally(1)
+        if self.int_mode:
+            re = self._re[self._active][..., address]
+            im = self._im[self._active][..., address]
+            if self.batch is None:
+                return complex(fixed_to_complex_array(re, im))
+            return fixed_to_complex_array(re, im)
+        value = self._data[self._active][..., address]
+        return complex(value) if self.batch is None else value.copy()
+
+    def write(self, address: int, value) -> None:
         """Write one entry to the active bank (used by LDIN)."""
-        self._check(address)
-        self.writes += 1
-        self._banks[self._active][address] = value
+        self._write_bank(self._active, address, value)
 
-    def write_shadow(self, address: int, value: complex) -> None:
+    def write_shadow(self, address: int, value) -> None:
         """Write to the inactive bank (stage outputs before the swap)."""
+        self._write_bank(1 - self._active, address, value)
+
+    def _write_bank(self, bank: int, address: int, value) -> None:
         self._check(address)
-        self.writes += 1
-        self._banks[1 - self._active][address] = value
+        self.writes += self._tally(1)
+        if self.int_mode:
+            if np.ndim(value):
+                re, im = quantize_array(value)
+            else:
+                q = quantize(complex(value))
+                re, im = q.re, q.im
+            self._re[bank][..., address] = re
+            self._im[bank][..., address] = im
+        else:
+            self._data[bank][..., address] = value
+
+    # Vectorised accessors -------------------------------------------------
 
     def read_many(self, addresses: np.ndarray) -> np.ndarray:
         """Gather entries from the active bank at an index array.
 
-        Counts one read per address, like ``len(addresses)`` calls of
-        :meth:`read`.  Callers must supply non-negative in-range indices
-        (the AC logic validates its tables once at build time); the
-        fancy index rejects overruns but would wrap negatives.
+        Counts one read per address (per symbol in batch mode), like
+        ``len(addresses)`` calls of :meth:`read`.  Callers must supply
+        non-negative in-range indices (the AC logic validates its tables
+        once at build time); the fancy index rejects overruns but would
+        wrap negatives.
         """
-        self.reads += len(addresses)
-        return self._banks[self._active][addresses]
+        self.reads += self._tally(len(addresses))
+        if self.int_mode:
+            return fixed_to_complex_array(
+                self._re[self._active][..., addresses],
+                self._im[self._active][..., addresses],
+            )
+        return self._banks_data(self._active)[..., addresses]
+
+    def read_many_fixed(self, addresses: np.ndarray) -> tuple:
+        """Gather Q1.15 ``(re, im)`` components (int mode only)."""
+        if not self.int_mode:
+            raise ValueError("read_many_fixed needs an int-mode CRF")
+        self.reads += self._tally(len(addresses))
+        return (
+            self._re[self._active][..., addresses],
+            self._im[self._active][..., addresses],
+        )
+
+    def write_many(self, addresses: np.ndarray, values) -> None:
+        """Scatter a value block into the active bank (LDIN columns)."""
+        self._scatter(self._active, addresses, values)
 
     def write_shadow_many(self, addresses: np.ndarray, values) -> None:
         """Scatter a value array into the inactive bank (stage outputs)."""
-        self.writes += len(addresses)
-        self._banks[1 - self._active][addresses] = values
+        self._scatter(1 - self._active, addresses, values)
+
+    def _scatter(self, bank: int, addresses: np.ndarray, values) -> None:
+        self.writes += self._tally(len(addresses))
+        if self.int_mode:
+            re, im = quantize_array(values)
+            self._re[bank][..., addresses] = re
+            self._im[bank][..., addresses] = im
+        else:
+            self._data[bank][..., addresses] = values
+
+    def write_many_fixed(self, addresses: np.ndarray, re, im) -> None:
+        """Scatter Q1.15 components into the active bank (int mode)."""
+        self._scatter_fixed(self._active, addresses, re, im)
+
+    def write_shadow_many_fixed(self, addresses: np.ndarray, re, im) -> None:
+        """Scatter Q1.15 components into the inactive bank (int mode)."""
+        self._scatter_fixed(1 - self._active, addresses, re, im)
+
+    def _scatter_fixed(self, bank: int, addresses: np.ndarray,
+                       re, im) -> None:
+        if not self.int_mode:
+            raise ValueError("fixed-component scatter needs an int-mode CRF")
+        self.writes += self._tally(len(addresses))
+        self._re[bank][..., addresses] = re
+        self._im[bank][..., addresses] = im
+
+    def _banks_data(self, bank: int) -> np.ndarray:
+        return self._data[bank]
+
+    # Bank management ------------------------------------------------------
 
     def swap_banks(self) -> None:
         """Make the shadow bank active (end of a stage)."""
         self._active = 1 - self._active
 
     def snapshot(self) -> np.ndarray:
-        """Copy of the active bank's contents."""
-        return self._banks[self._active].copy()
+        """Copy of the active bank's contents as complex values."""
+        if self.int_mode:
+            return fixed_to_complex_array(
+                self._re[self._active], self._im[self._active]
+            )
+        return self._data[self._active].copy()
 
     def load_vector(self, values) -> None:
-        """Bulk-load the active bank (test/debug convenience)."""
+        """Bulk-load the active bank (test/debug convenience).
+
+        In int mode values are quantised on load — the same convention as
+        the ASIP's LDIN.
+        """
         values = np.asarray(values, dtype=complex)
-        if len(values) != self.entries:
+        expected = (self.entries,) if self.batch is None else (
+            self.batch, self.entries
+        )
+        if values.shape != expected:
             raise ValueError(
-                f"expected {self.entries} values, got {len(values)}"
+                f"expected values of shape {expected}, got {values.shape}"
             )
-        self._banks[self._active][:] = values
+        if self.int_mode:
+            re, im = quantize_array(values)
+            self._re[self._active][...] = re
+            self._im[self._active][...] = im
+        else:
+            self._data[self._active][...] = values
+
+    # Symbol-batch staging -------------------------------------------------
+
+    def batched_clone(self, n: int) -> "CustomRegisterFile":
+        """A batched copy: every symbol starts from this CRF's state.
+
+        Counters carry over so the batched run's accounting continues the
+        serial totals (each batched access then advances them by ``n``).
+        """
+        clone = CustomRegisterFile(self.entries, int_mode=self.int_mode,
+                                   batch=n)
+        clone._active = self._active
+        clone.reads = self.reads
+        clone.writes = self.writes
+        if self.int_mode:
+            clone._re[:] = self._re[:, None, :]
+            clone._im[:] = self._im[:, None, :]
+        else:
+            clone._data[:] = self._data[:, None, :]
+        return clone
+
+    def adopt_last_symbol(self, batched: "CustomRegisterFile") -> None:
+        """Fold a batched run's end state back: last symbol + counters."""
+        if batched.batch is None:
+            raise ValueError("adopt_last_symbol needs a batched CRF")
+        self._active = batched._active
+        self.reads = batched.reads
+        self.writes = batched.writes
+        if self.int_mode:
+            self._re[:] = batched._re[:, -1, :]
+            self._im[:] = batched._im[:, -1, :]
+        else:
+            self._data[:] = batched._data[:, -1, :]

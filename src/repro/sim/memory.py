@@ -16,7 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.fixed_point import FixedComplex, quantize
+from ..core.fixed_point import (
+    FixedComplex,
+    fixed_to_complex_array,
+    fixed_to_words_array,
+    quantize,
+    quantize_array,
+    words_to_fixed_array,
+)
 
 __all__ = ["MainMemory"]
 
@@ -100,6 +107,68 @@ class MainMemory:
             return
         self.write_complex(first, value_first)
         self.write_complex(second, value_second)
+
+    # Vectorised bulk access (fast execution paths) -----------------------
+
+    def _check_array(self, addresses: np.ndarray) -> None:
+        if addresses.size and (
+            int(addresses.min()) < 0 or int(addresses.max()) >= self.size
+        ):
+            raise IndexError(
+                f"memory address range [{int(addresses.min())}, "
+                f"{int(addresses.max())}] exceeds [0, {self.size})"
+            )
+
+    def gather_words(self, addresses) -> np.ndarray:
+        """Bulk :meth:`read_word` of integer words at an index array.
+
+        Only meaningful in fixed-point (packed) mode, where every data
+        word is an integer.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check_array(addresses)
+        data = self._data
+        return np.fromiter(
+            (data[a] for a in addresses.tolist()),
+            dtype=np.int64, count=len(addresses),
+        )
+
+    def scatter_words(self, addresses, words) -> None:
+        """Bulk :meth:`write_word` of integer words (packed mode)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check_array(addresses)
+        data = self._data
+        for a, w in zip(addresses.tolist(), np.asarray(words).tolist()):
+            data[a] = w
+
+    def gather_complex(self, addresses) -> np.ndarray:
+        """Bulk :meth:`read_complex` at an index array."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check_array(addresses)
+        data = self._data
+        if self.float_mode:
+            return np.array(
+                [data[a] for a in addresses.tolist()], dtype=complex
+            )
+        re, im = words_to_fixed_array(self.gather_words(addresses))
+        return fixed_to_complex_array(re, im)
+
+    def scatter_complex(self, addresses, values) -> None:
+        """Bulk :meth:`write_complex` at an index array.
+
+        Packed mode quantises exactly like the scalar write path.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check_array(addresses)
+        data = self._data
+        if self.float_mode:
+            for a, v in zip(addresses.tolist(), values):
+                data[a] = complex(v)
+            return
+        re, im = quantize_array(values)
+        words = fixed_to_words_array(re, im)
+        for a, w in zip(addresses.tolist(), words.tolist()):
+            data[a] = w
 
     def load_complex_vector(self, base_point: int, values) -> None:
         """Bulk-store a complex vector starting at ``base_point``."""

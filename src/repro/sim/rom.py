@@ -12,6 +12,7 @@ import numpy as np
 
 from ..addressing.bitops import bit_width_of
 from ..addressing.coefficients import rom_table
+from ..core.fixed_point import quantize_array
 
 __all__ = ["CoefficientROM"]
 
@@ -23,6 +24,7 @@ class CoefficientROM:
         bit_width_of(points)
         self.points = points
         self._table = rom_table(points)
+        self._fixed = None  # lazily quantised (re, im) component tables
         self.reads = 0
 
     def __len__(self) -> int:
@@ -49,20 +51,41 @@ class CoefficientROM:
         stride = self.points // group_points
         return self.read(address * stride)
 
-    def read_many_for_size(self, addresses: np.ndarray,
-                           group_points: int) -> np.ndarray:
+    def read_many_for_size(self, addresses: np.ndarray, group_points: int,
+                           count: int = None) -> np.ndarray:
         """Gather several stride-addressed twiddles at once.
 
-        Counts one read per address, like repeated
-        :meth:`read_for_size` calls.
+        Counts one read per address, like repeated :meth:`read_for_size`
+        calls; ``count`` overrides the tally for batched execution, where
+        one gather serves ``n_symbols * len(addresses)`` architectural
+        reads.
         """
         if group_points > self.points:
             raise ValueError(
                 f"group size {group_points} exceeds ROM size {self.points}"
             )
         stride = self.points // group_points
-        self.reads += len(addresses)
+        self.reads += len(addresses) if count is None else count
         return self._table[addresses * stride]
+
+    def read_many_fixed_for_size(self, addresses: np.ndarray,
+                                 group_points: int,
+                                 count: int = None) -> tuple:
+        """Gather stride-addressed twiddles as Q1.15 ``(re, im)`` columns.
+
+        Component ``k`` equals ``quantize(read_for_size(addresses[k]))``
+        exactly — the value the scalar Q1.15 BUT4 path feeds the BU.
+        """
+        if group_points > self.points:
+            raise ValueError(
+                f"group size {group_points} exceeds ROM size {self.points}"
+            )
+        if self._fixed is None:
+            self._fixed = quantize_array(self._table)
+        stride = self.points // group_points
+        self.reads += len(addresses) if count is None else count
+        indices = addresses * stride
+        return self._fixed[0][indices], self._fixed[1][indices]
 
     def as_array(self) -> np.ndarray:
         """Copy of the full table (for verification)."""

@@ -28,6 +28,18 @@ class TestCommands:
         assert main(["fft", "--size", "16", "--fixed-point"]) == 0
         assert "Q1.15" in capsys.readouterr().out
 
+    def test_stream_command(self, capsys):
+        assert main(["stream", "--size", "64", "--symbols", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Msample/s" in out
+        assert "Mbps" in out
+        assert "deterministic = True" in out
+
+    def test_stream_fixed_point(self, capsys):
+        assert main(["stream", "--size", "32", "--symbols", "4",
+                     "--fixed-point", "--no-verify"]) == 0
+        assert "Q1.15" in capsys.readouterr().out
+
     def test_hw_command(self, capsys):
         assert main(["hw", "--group-size", "16"]) == 0
         assert "BU + AC gates" in capsys.readouterr().out

@@ -1,0 +1,31 @@
+"""Tier-1 perf regression gate: the engine-speed benchmark in --quick mode.
+
+The full benchmark (pytest benchmarks/bench_engine_speed.py) sweeps the
+large sizes and records the dated trajectory in BENCH_engine.json; this
+wrapper runs its --quick mode — small sizes, conservative floors, no
+trajectory write — inside the default test run, so a fast path silently
+degrading to its oracle fails tier-1 loudly without a long bench.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH = REPO / "benchmarks" / "bench_engine_speed.py"
+
+
+def test_quick_benchmark_floors():
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    result = subprocess.run(
+        [sys.executable, str(BENCH), "--quick"],
+        cwd=REPO, env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"quick benchmark floors violated:\n{result.stdout}\n{result.stderr}"
+    )
+    assert "quick" in result.stdout

@@ -87,6 +87,31 @@ class TestChannel:
         )
         assert np.isclose(np.linalg.norm(channel.taps), 1.0)
 
+    def test_batched_apply_matches_per_symbol(self):
+        rng = np.random.default_rng(6)
+        channel = MultipathChannel.exponential_profile(4, rng=rng)
+        batch = rng.standard_normal((5, 32)) + 1j * rng.standard_normal(
+            (5, 32)
+        )
+        got = channel.apply(batch)
+        want = np.stack([channel.apply(row) for row in batch])
+        assert np.array_equal(got, want)
+
+    def test_batched_awgn_per_symbol_snr(self):
+        rng = np.random.default_rng(7)
+        # Rows with very different powers: per-symbol sigma must track.
+        batch = np.ones((2, 20_000), dtype=complex)
+        batch[1] *= 10.0
+        noisy = awgn(batch, snr_db=10.0, rng=rng)
+        for row, clean in zip(noisy, batch):
+            measured = np.mean(np.abs(row - clean) ** 2)
+            power = np.mean(np.abs(clean) ** 2)
+            assert abs(10 * np.log10(power / measured) - 10.0) < 0.3
+
+    def test_batched_awgn_zero_batch(self):
+        out = awgn(np.zeros((3, 8)), 10.0)
+        assert np.allclose(out, 0)
+
 
 class TestLink:
     def test_clean_channel_zero_errors(self):

@@ -1,0 +1,191 @@
+"""Sharded parallel batch engine: bit-identity and fallback coverage."""
+
+import numpy as np
+import pytest
+
+from repro.asip.streaming import StreamingFFT
+from repro.core import ArrayFFT, ShardedEngine, array_fft, stream_sharded
+from repro.core.array_fft import _SHARDED_CACHE
+from repro.core.parallel import available_workers
+from repro.ofdm import MultipathChannel, OfdmLink
+
+
+def random_blocks(symbols, n, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return scale * (
+        rng.standard_normal((symbols, n))
+        + 1j * rng.standard_normal((symbols, n))
+    )
+
+
+class TestShardedEngine:
+    def test_float_bit_identical_to_serial(self):
+        n, symbols = 128, 48
+        blocks = random_blocks(symbols, n, seed=1)
+        want = ArrayFFT(n).transform_many(blocks)
+        with ShardedEngine(n, workers=2, min_parallel_symbols=8) as engine:
+            got = engine.transform_many(blocks)
+        assert np.array_equal(got, want)
+
+    def test_fixed_bit_identical_with_overflow_accounting(self):
+        n, symbols = 64, 32
+        blocks = random_blocks(symbols, n, seed=2, scale=0.9)
+        serial = ArrayFFT(n, fixed_point=True)
+        serial.fx.scale_stages = True
+        want = serial.transform_many(blocks)
+        with ShardedEngine(n, fixed_point=True, workers=2,
+                           min_parallel_symbols=8) as engine:
+            got = engine.transform_many(blocks)
+            assert engine.engine.fx.overflow_count == serial.fx.overflow_count
+        assert np.array_equal(got, want)
+
+    def test_inverse_many_roundtrip(self):
+        n = 64
+        blocks = random_blocks(20, n, seed=3)
+        with ShardedEngine(n, workers=2, min_parallel_symbols=8) as engine:
+            spectra = engine.transform_many(blocks)
+            back = engine.inverse_many(spectra)
+        assert np.allclose(back, blocks, atol=1e-9)
+
+    def test_small_batch_stays_serial(self):
+        n = 64
+        engine = ShardedEngine(n, workers=2)  # default threshold 64
+        blocks = random_blocks(8, n, seed=4)
+        got = engine.transform_many(blocks)
+        assert engine._pool is None  # pool never built
+        assert np.array_equal(got, ArrayFFT(n).transform_many(blocks))
+        engine.close()
+
+    def test_single_worker_never_pools(self):
+        n = 64
+        engine = ShardedEngine(n, workers=1, min_parallel_symbols=1)
+        got = engine.transform_many(random_blocks(16, n, seed=5))
+        assert engine._pool is None
+        engine.close()
+
+    def test_broken_pool_falls_back_serial(self, monkeypatch):
+        n, symbols = 64, 32
+        blocks = random_blocks(symbols, n, seed=6)
+        engine = ShardedEngine(n, workers=2, min_parallel_symbols=8)
+
+        def refuse(*args, **kwargs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(
+            "repro.core.parallel.ProcessPoolExecutor", refuse
+        )
+        got = engine.transform_many(blocks)
+        assert engine._pool_broken
+        assert np.array_equal(got, ArrayFFT(n).transform_many(blocks))
+        # And it stays serial (no retry storm) while still being correct.
+        again = engine.transform_many(blocks)
+        assert np.array_equal(again, got)
+        engine.close()
+
+    def test_mid_flight_pool_failure_falls_back(self):
+        n, symbols = 64, 32
+        blocks = random_blocks(symbols, n, seed=7)
+        engine = ShardedEngine(n, workers=2, min_parallel_symbols=8)
+
+        class ExplodingPool:
+            def map(self, *args, **kwargs):
+                raise RuntimeError("worker died")
+
+            def shutdown(self, **kwargs):
+                pass
+
+        engine._pool = ExplodingPool()
+        got = engine.transform_many(blocks)
+        assert engine._pool_broken
+        assert np.array_equal(got, ArrayFFT(n).transform_many(blocks))
+        engine.close()
+
+    def test_shape_validated(self):
+        engine = ShardedEngine(64, workers=1)
+        with pytest.raises(ValueError):
+            engine.transform_many(np.zeros((2, 32), dtype=complex))
+        with pytest.raises(ValueError):
+            engine.transform_many(np.zeros(64, dtype=complex))
+        engine.close()
+
+    def test_single_symbol_passthrough(self):
+        n = 64
+        x = random_blocks(1, n, seed=8)[0]
+        engine = ShardedEngine(n, workers=1)
+        assert np.array_equal(
+            engine.transform(x), ArrayFFT(n).transform(x)
+        )
+        assert np.allclose(
+            engine.inverse(engine.transform(x)), x, atol=1e-9
+        )
+        engine.close()
+
+    def test_available_workers_positive(self):
+        assert available_workers() >= 1
+
+
+class TestArrayFftWrapper:
+    def test_batch_input(self):
+        blocks = random_blocks(5, 64, seed=9)
+        got = array_fft(blocks)
+        assert np.allclose(got, np.fft.fft(blocks, axis=1), atol=1e-8)
+
+    def test_batch_with_workers_matches_serial(self):
+        blocks = random_blocks(72, 64, seed=10)
+        want = array_fft(blocks)
+        got = array_fft(blocks, workers=2)
+        assert np.array_equal(got, want)
+        assert (64, False, 2) in _SHARDED_CACHE
+
+    def test_vector_input_unchanged(self):
+        x = random_blocks(1, 64, seed=11)[0]
+        assert np.allclose(array_fft(x), np.fft.fft(x), atol=1e-8)
+
+
+class TestStreamSharded:
+    def test_merged_stats_equal_local_run(self):
+        n, symbols = 64, 16
+        blocks = random_blocks(symbols, n, seed=12)
+        merged = stream_sharded(n, blocks, workers=2)
+        local = StreamingFFT(n).process(blocks)
+        assert merged.symbols == local.symbols
+        assert merged.total_cycles == local.total_cycles
+        assert merged.is_deterministic
+        assert merged.msamples_per_second == pytest.approx(
+            local.msamples_per_second
+        )
+
+    def test_short_stream_runs_locally(self):
+        n = 64
+        blocks = random_blocks(3, n, seed=13)
+        stats = stream_sharded(n, blocks, workers=2)
+        assert stats.symbols == 3
+
+    def test_merge_rejects_size_mismatch(self):
+        from repro.asip.streaming import StreamStats
+
+        a = StreamStats(n_points=64)
+        b = StreamStats(n_points=128)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestLinkWorkers:
+    def test_run_symbols_identical_with_and_without_pool(self):
+        channel = MultipathChannel.exponential_profile(
+            3, rng=np.random.default_rng(20)
+        )
+        plain = OfdmLink(64, scheme="qpsk", snr_db=35.0, seed=21,
+                         channel=channel)
+        with OfdmLink(64, scheme="qpsk", snr_db=35.0, seed=21,
+                      channel=channel, workers=2) as pooled:
+            for a, b in zip(plain.run_symbols(6), pooled.run_symbols(6)):
+                assert np.array_equal(a.tx_bits, b.tx_bits)
+                assert np.array_equal(a.rx_bits, b.rx_bits)
+                assert np.array_equal(a.equalised, b.equalised)
+        plain.close()  # no pool: must be a no-op
+
+    def test_measure_ber_clean_channel(self):
+        with OfdmLink(64, scheme="qpsk", snr_db=40.0, seed=22,
+                      workers=2) as link:
+            assert link.measure_ber(4) == 0.0
