@@ -42,6 +42,8 @@ from repro.asip import generate_fft_program
 from repro.asip.fft_asip import FFTASIP
 from repro.asip.streaming import StreamingFFT
 from repro.core import ArrayFFT, ShardedEngine, available_workers
+from repro.core.registry import backend_names
+from repro.engines import benchmark_backends
 
 FLOORS = {
     "float": 10.0,
@@ -198,6 +200,19 @@ def _time_sharded(n, symbols, workers=2, reps=2):
     return t_ref, t_fast
 
 
+def _facade_rows(n, symbols, reps=2):
+    """Exercise every registered backend through the facade.
+
+    One call into the shared :func:`repro.engines.benchmark_backends`
+    helper (also behind ``python -m repro bench``): each backend
+    transforms the same batch in both precisions with cross-backend
+    parity — bit-identical Q1.15 spectra and overflow deltas, float to
+    rounding noise — enforced inline, so a backend silently drifting
+    off the contract fails the perf gate too.
+    """
+    return benchmark_backends(n, symbols, workers=2, reps=reps)
+
+
 def collect_measurements(quick=False):
     """Run the benchmark matrix; returns the results dictionary."""
     sweep_sizes = [256] if quick else SWEEP_SIZES
@@ -253,6 +268,8 @@ def collect_measurements(quick=False):
             "sharded_ms": fast_p * 1e3,
             "speedup": ref_p / fast_p,
         }
+    facade_n, facade_symbols = (64, 8) if quick else (256, 64)
+    results["facade"] = _facade_rows(facade_n, facade_symbols)
     return results
 
 
@@ -337,6 +354,16 @@ def test_sharded_scaling_floor(measurements):
     assert row["speedup"] >= FLOORS["sharded"]
 
 
+def test_facade_backend_rows(measurements):
+    rows = measurements["facade"]
+    names = {row["backend"] for row in rows}
+    assert names == set(backend_names())
+    for row in rows:
+        print(f"\nfacade {row['backend']:<11} {row['precision']:<5} "
+              f"{row['wall_ms']:.2f} ms")
+        assert row["wall_ms"] > 0
+
+
 def test_trajectory_appends_history(measurements):
     assert RESULT_PATH.exists()
     stored = json.loads(RESULT_PATH.read_text())
@@ -370,6 +397,11 @@ def run_quick() -> int:
         if speedup < floor:
             failed = True
         print(f"quick {name:<11} {speedup:6.1f}x  (floor {floor}x)  {status}")
+    # Facade exercise: every registered backend ran both precisions with
+    # cross-backend parity asserted inside collect_measurements.
+    for row in results["facade"]:
+        print(f"quick facade {row['backend']:<11} {row['precision']:<5} "
+              f"{row['wall_ms']:8.2f} ms  ok")
     return 1 if failed else 0
 
 

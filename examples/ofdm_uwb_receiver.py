@@ -11,7 +11,7 @@ Run:  python examples/ofdm_uwb_receiver.py
 
 import numpy as np
 
-from repro.asip import simulate_fft
+import repro
 from repro.asip.throughput import msamples_per_second, paper_mbps
 from repro.fft import ifft
 
@@ -47,8 +47,9 @@ def main():
     ) / np.sqrt(2)
     received = time_signal + noise
 
-    # Receiver: the FFT ASIP recovers the subcarriers.
-    result = simulate_fft(received)
+    # Receiver: the FFT ASIP (via the facade) recovers the subcarriers.
+    with repro.engine(N_SUBCARRIERS, backend="asip") as eng:
+        result = eng.transform(received)
     recovered = result.spectrum / N_SUBCARRIERS
     rx_bits = qpsk_demodulate(recovered * np.sqrt(2) * N_SUBCARRIERS)
 
@@ -58,7 +59,7 @@ def main():
     print(f"bit errors after ASIP FFT demodulation: {errors}")
     assert errors == 0, "the simulated datapath should be transparent"
 
-    cycles = result.stats.cycles
+    cycles = result.total_cycles
     msps = msamples_per_second(N_SUBCARRIERS, cycles)
     mbps = paper_mbps(N_SUBCARRIERS, cycles)
     print(f"\nFFT stage: {cycles} cycles at 300 MHz")

@@ -1,20 +1,24 @@
-"""Quickstart: the array FFT three ways.
+"""Quickstart: the array FFT three ways, through one facade.
 
-1. Algorithm level — ``ArrayFFT`` / ``array_fft`` compute the paper's
-   restructured FFT directly (numpy-verifiable).
-2. Instruction level — ``simulate_fft`` runs the generated Algorithm-1
-   program on the full ASIP simulator and reports cycles/loads/stores.
-3. Hardware level — ``hardware_report`` gives the gate/power/timing cost
-   of the custom extension.
+``repro.engine(N, backend=...)`` is the single entry point; the backend
+name selects how the same transform is computed:
+
+1. Algorithm level — ``backend="compiled"`` (default) runs the paper's
+   restructured FFT on the compiled-plan vectorised engine
+   (numpy-verifiable; ``"sharded"`` adds a process pool).
+2. Instruction level — ``backend="asip"`` / ``"asip-batch"`` run the
+   generated Algorithm-1 program on the full ASIP simulator and report
+   cycles/loads/stores in the uniform result.
+3. Hardware level — ``hardware_report`` gives the gate/power/timing
+   cost of the custom extension.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import ArrayFFT, array_fft
+import repro
 from repro.analysis import render_table
-from repro.asip import simulate_fft
 from repro.hw import hardware_report
 
 
@@ -23,27 +27,30 @@ def main():
     x = rng.standard_normal(256) + 1j * rng.standard_normal(256)
 
     # --- 1. algorithm level -------------------------------------------
-    spectrum = array_fft(x)
+    with repro.engine(256) as eng:  # backend="compiled" is the default
+        spectrum = eng.transform(x).spectrum
+        counts = eng.impl.fft.memory_operation_counts()
     error = np.max(np.abs(spectrum - np.fft.fft(x)))
     print(f"array FFT vs numpy.fft.fft: max error = {error:.2e}")
-
-    engine = ArrayFFT(256)  # reusable planned engine
-    counts = engine.memory_operation_counts()
     print(f"planned ops for N=256: {counts}")
 
     # --- 2. instruction level -----------------------------------------
-    result = simulate_fft(x)
-    stats = result.stats
-    assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-8)
-    print(render_table(
-        ["cycles", "instructions", "loads", "stores", "D$ misses"],
-        [[stats.cycles, stats.instructions, stats.loads, stats.stores,
-          stats.dcache_misses]],
-        title="\nASIP simulation (N=256)",
-    ))
-    print(f"throughput: {result.throughput.msamples:.1f} Msample/s "
-          f"({result.throughput.mbps_paper_convention:.1f} Mbps in the "
-          f"paper's 6-bit convention) at 300 MHz")
+    with repro.engine(256, backend="asip") as eng:
+        result = eng.transform(x)
+        stats = result.stats  # the uniform result carries SimStats
+        assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-8)
+        print(render_table(
+            ["cycles", "instructions", "loads", "stores", "D$ misses"],
+            [[stats.cycles, stats.instructions, stats.loads, stats.stores,
+              stats.dcache_misses]],
+            title="\nASIP simulation (N=256)",
+        ))
+        from repro.asip import msamples_per_second, paper_mbps
+
+        cycles = result.total_cycles
+        print(f"throughput: {msamples_per_second(256, cycles):.1f} "
+              f"Msample/s ({paper_mbps(256, cycles):.1f} Mbps in the "
+              f"paper's 6-bit convention) at 300 MHz")
 
     # --- 3. hardware level --------------------------------------------
     report = hardware_report(32)

@@ -2,17 +2,18 @@
 
 802.16 scales its FFT from 128 to 2048 points with the channel
 bandwidth.  The array ASIP handles every size by *recompiling the
-program* (Section IV): this script regenerates the Algorithm-1 program
-per size, simulates it, verifies the spectrum, and prints the resulting
-throughput table with program sizes.
+program* (Section IV): this script builds one facade engine per size on
+the instruction-level backend, transforms a symbol, verifies the
+spectrum, and prints the resulting throughput table with program sizes.
 
 Run:  python examples/wimax_scaling.py
 """
 
 import numpy as np
 
+import repro
 from repro.analysis import render_table
-from repro.asip import generate_fft_program, paper_mbps, simulate_fft
+from repro.asip import generate_fft_program, paper_mbps
 from repro.asip.throughput import msamples_per_second
 
 WIMAX_BANDWIDTH_MHZ = {128: 1.25, 256: 2.5, 512: 5.0, 1024: 10.0, 2048: 20.0}
@@ -23,16 +24,18 @@ def main():
     rows = []
     for n, bandwidth in WIMAX_BANDWIDTH_MHZ.items():
         x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
-        result = simulate_fft(x)
+        with repro.engine(n, backend="asip") as eng:
+            result = eng.transform(x)
         assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-7 * n), n
         program = generate_fft_program(n)
+        cycles = result.total_cycles
         rows.append((
             f"{bandwidth:.2f}",
             n,
             len(program),
-            result.stats.cycles,
-            round(msamples_per_second(n, result.stats.cycles), 1),
-            round(paper_mbps(n, result.stats.cycles), 1),
+            cycles,
+            round(msamples_per_second(n, cycles), 1),
+            round(paper_mbps(n, cycles), 1),
         ))
     print(render_table(
         ["channel (MHz)", "FFT size", "program words", "cycles",

@@ -1,6 +1,18 @@
 """repro — reproduction of the DATE'09 array-FFT ASIP (Guan, Lin, Fei).
 
-Public API layers:
+The one front door is :func:`repro.engine`:
+
+    >>> import repro
+    >>> with repro.engine(1024, backend="asip-batch") as eng:
+    ...     result = eng.transform_many(blocks)
+
+It returns an :class:`~repro.engines.Engine` whose uniform calls
+(``transform``, ``transform_many``, ``inverse``, ``inverse_many``,
+``stream``) all yield :class:`~repro.engines.TransformResult` objects,
+whatever backend runs underneath.  Backends plug in through
+:mod:`repro.core.registry`.
+
+Public API layers underneath the facade:
 
 * :mod:`repro.core`       — the array-structured FFT (the contribution);
 * :mod:`repro.addressing` — the address-changing and coefficient rules;
@@ -14,7 +26,26 @@ Public API layers:
 """
 
 from .core import ArrayFFT, array_fft
+from .core.registry import BackendSpec, register_backend
+from .engines import (
+    Engine,
+    TransformResult,
+    backend_names,
+    backend_specs,
+    engine,
+)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = ["ArrayFFT", "array_fft", "__version__"]
+__all__ = [
+    "engine",
+    "Engine",
+    "TransformResult",
+    "BackendSpec",
+    "register_backend",
+    "backend_names",
+    "backend_specs",
+    "ArrayFFT",
+    "array_fft",
+    "__version__",
+]

@@ -1,13 +1,20 @@
-"""Parameter sweeps over FFT sizes (Table I and the scalability claims)."""
+"""Parameter sweeps over FFT sizes (Table I and the scalability claims).
+
+All sweeps run through the unified facade (:func:`repro.engine`):
+:func:`size_sweep` drives an instruction-level backend per size, and
+:func:`ber_sweep` pushes a whole BER curve through one link whose
+engine may shard the burst across worker processes.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..asip.runner import AsipRunResult, simulate_fft
-from ..asip.throughput import paper_mbps
+from ..asip.runner import AsipRunResult
+from ..asip.throughput import paper_mbps, throughput_report
+from ..engines import engine as build_engine
 
-__all__ = ["size_sweep", "PAPER_TABLE1", "table1_rows"]
+__all__ = ["size_sweep", "PAPER_TABLE1", "table1_rows", "ber_sweep"]
 
 #: the paper's Table I: size -> (cycles, Mbps)
 PAPER_TABLE1 = {
@@ -19,22 +26,43 @@ PAPER_TABLE1 = {
 }
 
 
-def size_sweep(sizes, seed: int = 2009, fixed_point: bool = False) -> dict:
-    """Simulate one FFT per size; returns {N: AsipRunResult}."""
+def size_sweep(sizes, seed: int = 2009, fixed_point: bool = False,
+               backend: str = "asip") -> dict:
+    """Simulate one FFT per size; returns {N: AsipRunResult}.
+
+    ``backend`` may name any registered facade backend that emits
+    simulated cycle counts (``"asip"``, ``"asip-batch"``, ...).
+    """
     rng = np.random.default_rng(seed)
     results = {}
     for n in sizes:
         x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
         if fixed_point:
             x *= 0.25  # headroom for the Q1.15 datapath
-        result: AsipRunResult = simulate_fft(x, fixed_point=fixed_point)
+        with build_engine(
+            n, backend=backend,
+            precision="q15" if fixed_point else "float",
+        ) as eng:
+            if not eng.spec.emits_cycles:
+                raise ValueError(
+                    f"size_sweep needs a cycle-emitting backend, "
+                    f"got {backend!r}"
+                )
+            result = eng.transform(x)
+            machine = eng.machine
         reference = np.fft.fft(x)
         scale = 1.0 / n if fixed_point else 1.0
         tolerance = 0.05 if fixed_point else 1e-6
         if not np.allclose(result.spectrum, reference * scale,
                            atol=tolerance):
             raise AssertionError(f"wrong spectrum at N={n}")
-        results[n] = result
+        results[n] = AsipRunResult(
+            n_points=n,
+            spectrum=result.spectrum,
+            stats=machine.stats,
+            throughput=throughput_report(n, machine.stats.cycles),
+            asip=machine,
+        )
     return results
 
 
@@ -51,3 +79,21 @@ def table1_rows(results: dict) -> list:
             paper_rate if paper_rate else "-",
         ))
     return rows
+
+
+def ber_sweep(n_points: int, snr_dbs, symbols: int = 10,
+              scheme: str = "qpsk", channel=None, seed: int = 0,
+              workers: int = None, backend: str = None) -> dict:
+    """BER curve over ``snr_dbs`` through one facade-backed link.
+
+    The entire sweep (every SNR point's symbol burst) is batched
+    through the link's engine in one pass per direction, so
+    ``workers >= 2`` shards the curve across a
+    :class:`~repro.core.parallel.ShardedEngine` process pool (serial
+    fallback as usual).  Returns ``{snr_db: ber}``.
+    """
+    from ..ofdm.link import OfdmLink
+
+    with OfdmLink(n_points, scheme=scheme, channel=channel, seed=seed,
+                  workers=workers, backend=backend) as link:
+        return link.measure_ber_sweep(snr_dbs, symbols=symbols)

@@ -1,7 +1,16 @@
-"""End-to-end convenience runner: simulate one FFT on the ASIP."""
+"""End-to-end convenience runner: simulate one FFT on the ASIP.
+
+:func:`simulate_fft` is the historical entry point and is now a thin
+**deprecation shim** over the unified facade: it builds a fresh
+``backend="asip"`` engine through :func:`repro.engine`, runs one
+transform, and repackages the uniform result as the familiar
+:class:`AsipRunResult` — behaviour (spectra, stats, cycles) is
+unchanged.  New code should use the facade directly.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -9,7 +18,6 @@ import numpy as np
 from ..sim.cache import CacheConfig
 from ..sim.pipeline import PipelineConfig
 from ..sim.stats import SimStats
-from .codegen import generate_fft_program
 from .fft_asip import FFTASIP
 from .throughput import ThroughputReport, throughput_report
 
@@ -37,27 +45,32 @@ def simulate_fft(x, fixed_point: bool = False,
                  pipeline: PipelineConfig = None) -> AsipRunResult:
     """Run the full ASIP pipeline on input ``x`` and return the result.
 
-    Stages the input in the AI0 layout, generates and executes the
-    Algorithm-1 program, and reads back the natural-order spectrum.  In
-    fixed-point mode the spectrum is scaled by ``1/N`` (per-stage guard
-    shifts) plus quantisation noise.
+    **Deprecated**: delegates to ``repro.engine(N, backend="asip")``.
+    A fresh machine is still built per call, so the returned
+    :class:`SimStats` are absolute for this one run, exactly as before.
+    In fixed-point mode the spectrum is scaled by ``1/N`` (per-stage
+    guard shifts) plus quantisation noise.
     """
+    warnings.warn(
+        "repro.asip.simulate_fft() is deprecated; use repro.engine(N, "
+        "backend='asip') and Engine.transform(x) instead",
+        DeprecationWarning, stacklevel=2,
+    )
+    from ..engines import engine
+
     x = np.asarray(x, dtype=complex)
     n_points = len(x)
-    asip = FFTASIP(
-        n_points,
-        cache_config=cache_config,
-        pipeline=pipeline,
-        fixed_point=fixed_point,
+    facade = engine(
+        n_points, backend="asip",
+        precision="q15" if fixed_point else "float",
+        cache_config=cache_config, pipeline=pipeline,
     )
-    asip.load_input(x)
-    program = generate_fft_program(n_points, asip.plan)
-    stats = asip.run(program)
-    spectrum = asip.read_output()
+    result = facade.transform(x)
+    machine = facade.machine
     return AsipRunResult(
         n_points=n_points,
-        spectrum=spectrum,
-        stats=stats,
-        throughput=throughput_report(n_points, stats.cycles),
-        asip=asip,
+        spectrum=result.spectrum,
+        stats=machine.stats,
+        throughput=throughput_report(n_points, machine.stats.cycles),
+        asip=machine,
     )

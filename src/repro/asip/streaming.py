@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..sim.cache import CacheConfig
-from .codegen import generate_fft_program
 from .fft_asip import FFTASIP
 from .throughput import CLOCK_HZ, msamples_per_second, paper_mbps
 
@@ -78,7 +77,14 @@ class StreamStats:
 
 
 class StreamingFFT:
-    """Run a stream of blocks through one compiled program."""
+    """Run a stream of blocks through one compiled program.
+
+    The machine and program come from the unified facade's
+    ``asip-batch`` backend (one persistent :class:`FFTASIP` plus its
+    generated Algorithm-1 program); this driver adds the
+    :class:`StreamStats` accounting and bounded-buffer verification the
+    streaming benchmarks report.
+    """
 
     #: Symbols per batched execution pass through ``run_batch``.
     DEFAULT_BATCH = 64
@@ -90,10 +96,15 @@ class StreamingFFT:
 
     def __init__(self, n_points: int, fixed_point: bool = False,
                  cache_config: CacheConfig = None):
-        self.asip = FFTASIP(
-            n_points, fixed_point=fixed_point, cache_config=cache_config
+        from ..engines import engine as build_engine
+
+        self.engine = build_engine(
+            n_points, backend="asip-batch",
+            precision="q15" if fixed_point else "float",
+            cache_config=cache_config,
         )
-        self.program = generate_fft_program(n_points, self.asip.plan)
+        self.asip: FFTASIP = self.engine.machine
+        self.program = self.engine.impl.program
         self.n_points = n_points
         self.fixed_point = fixed_point
 

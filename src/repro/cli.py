@@ -5,15 +5,26 @@ Usage::
     python -m repro table1              # Table I throughput sweep
     python -m repro table2 [--size N]   # Table II four-way comparison
     python -m repro hw [--group-size P] # Section IV hardware cost
-    python -m repro fft --size N        # one verified ASIP simulation
-    python -m repro stream --size N --symbols K [--workers W]
+    python -m repro fft --size N [--backend B] [--precision P]
+                                        # one verified transform
+    python -m repro stream --size N --symbols K [--backend B] [--workers W]
                                         # steady-state streamed throughput
+    python -m repro bench [--sizes N,M] [--record PATH]
+                                        # per-backend facade benchmark
     python -m repro listing --size N    # the generated program listing
+
+The transform-running subcommands (``fft``, ``stream``, ``bench``)
+share the facade flags ``--backend`` / ``--precision`` / ``--workers``
+and run through :func:`repro.engine`, so every registered backend is
+reachable from the command line.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 
@@ -24,11 +35,31 @@ from .analysis import (
     size_sweep,
     table1_rows,
 )
-from .asip import generate_fft_program, simulate_fft
+from .asip import generate_fft_program
+from .asip.throughput import msamples_per_second, paper_mbps
 from .baselines import PAPER_TABLE2, run_table2
+from .core.registry import backend_names, get_backend
+from .engines import benchmark_backends
+from .engines import engine as build_engine
 from .hw import hardware_report
 
 __all__ = ["main", "build_parser"]
+
+
+def _engine_flags() -> argparse.ArgumentParser:
+    """The shared facade flags (--backend/--precision/--workers)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--backend", type=str, default=None,
+                        help="facade backend (default depends on the "
+                             f"subcommand; registered: "
+                             f"{', '.join(backend_names())})")
+    common.add_argument("--precision", type=str, default="float",
+                        choices=["float", "q15", "fixed"],
+                        help="datapath precision (fixed is an alias "
+                             "for q15)")
+    common.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for sharding backends")
+    return common
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="DATE'09 array-FFT ASIP reproduction harness",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _engine_flags()
 
     sub.add_parser("table1", help="Table I throughput sweep")
 
@@ -46,24 +78,41 @@ def build_parser() -> argparse.ArgumentParser:
     hw = sub.add_parser("hw", help="Section IV hardware cost report")
     hw.add_argument("--group-size", type=int, default=32)
 
-    fft = sub.add_parser("fft", help="simulate one FFT on the ASIP")
+    fft = sub.add_parser("fft", parents=[common],
+                         help="run one verified transform on a backend")
     fft.add_argument("--size", type=int, default=1024)
-    fft.add_argument("--fixed-point", action="store_true")
+    fft.add_argument("--fixed-point", action="store_true",
+                     help="alias for --precision q15")
     fft.add_argument("--seed", type=int, default=0)
 
     stream = sub.add_parser(
-        "stream", help="streamed multi-symbol ASIP throughput"
+        "stream", parents=[common],
+        help="streamed multi-symbol throughput on a backend",
     )
     stream.add_argument("--size", type=int, default=1024)
     stream.add_argument("--symbols", type=int, default=64)
-    stream.add_argument("--workers", type=int, default=1,
-                        help="shard the stream across worker processes")
     stream.add_argument("--batch", type=int, default=None,
                         help="symbols per batched execution pass")
-    stream.add_argument("--fixed-point", action="store_true")
+    stream.add_argument("--fixed-point", action="store_true",
+                        help="alias for --precision q15")
     stream.add_argument("--no-verify", action="store_true",
                         help="skip per-symbol output verification")
     stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--record", type=str, default="",
+                        help="append this run's per-backend row to a "
+                             "BENCH_engine.json-style file")
+
+    bench = sub.add_parser(
+        "bench", parents=[common],
+        help="per-backend facade benchmark (all backends by default)",
+    )
+    bench.add_argument("--sizes", type=str, default="256",
+                       help="comma-separated FFT sizes")
+    bench.add_argument("--symbols", type=int, default=32)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--record", type=str, default="BENCH_engine.json",
+                       help="JSON file receiving the per-backend rows "
+                            "('' disables the write)")
 
     listing = sub.add_parser("listing", help="show the generated program")
     listing.add_argument("--size", type=int, default=64)
@@ -76,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", type=str, default="",
                         help="write to a file instead of stdout")
     return parser
+
+
+def _resolve_precision(args) -> str:
+    if getattr(args, "fixed_point", False):
+        return "q15"
+    return "q15" if args.precision in ("q15", "fixed") else "float"
 
 
 def _cmd_table1() -> str:
@@ -117,64 +172,175 @@ def _cmd_hw(group_size: int) -> str:
     )
 
 
-def _cmd_fft(size: int, fixed_point: bool, seed: int) -> str:
+def _cmd_fft(size: int, backend: str, precision: str, workers: int,
+             seed: int) -> str:
+    backend = backend or "asip"
+    fixed = precision == "q15"
     rng = np.random.default_rng(seed)
     x = rng.standard_normal(size) + 1j * rng.standard_normal(size)
-    if fixed_point:
+    if fixed:
         x *= 0.25
-    result = simulate_fft(x, fixed_point=fixed_point)
-    scale = 1.0 / size if fixed_point else 1.0
-    reference = np.fft.fft(x) * scale
-    error = float(np.max(np.abs(result.spectrum - reference)))
-    stats = result.stats
-    lines = [
-        f"N = {size}  ({'Q1.15' if fixed_point else 'float'} datapath)",
-        f"cycles = {stats.cycles}   instructions = {stats.instructions}",
-        f"loads = {stats.loads}  stores = {stats.stores}  "
-        f"D$ misses = {stats.dcache_misses}",
-        f"throughput = {result.throughput.msamples:.1f} Msample/s "
-        f"({result.throughput.mbps_paper_convention:.1f} Mbps, 6-bit conv.)",
-        f"max error vs numpy = {error:.2e}",
-    ]
+    try:
+        eng = build_engine(size, backend=backend, precision=precision,
+                           workers=workers)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    with eng:
+        result = eng.transform(x)
+        stats = eng.stats
+        scale = 1.0 / size if fixed else 1.0
+        reference = np.fft.fft(x) * scale
+        error = float(np.max(np.abs(result.spectrum - reference)))
+        lines = [
+            f"N = {size}  ({'Q1.15' if fixed else 'float'} datapath, "
+            f"backend = {result.backend})",
+        ]
+        if eng.spec.emits_sim_stats:
+            cycles = result.total_cycles
+            lines += [
+                f"cycles = {cycles}   instructions = {stats.instructions}",
+                f"loads = {stats.loads}  stores = {stats.stores}  "
+                f"D$ misses = {stats.dcache_misses}",
+                f"throughput = {msamples_per_second(size, cycles):.1f} "
+                f"Msample/s ({paper_mbps(size, cycles):.1f} Mbps, "
+                f"6-bit conv.)",
+            ]
+        if fixed:
+            lines.append(f"overflow count = {result.overflow_count}")
+        lines.append(f"max error vs numpy = {error:.2e}")
     return "\n".join(lines)
 
 
-def _cmd_stream(size: int, symbols: int, workers: int, batch: int,
-                fixed_point: bool, verify: bool, seed: int) -> str:
-    import time
-
-    from .asip.streaming import StreamingFFT
-    from .core.parallel import stream_sharded
-
+def _stream_blocks(size: int, symbols: int, fixed: bool,
+                   seed: int) -> np.ndarray:
     rng = np.random.default_rng(seed)
     blocks = rng.standard_normal((symbols, size)) + 1j * rng.standard_normal(
         (symbols, size)
     )
-    if fixed_point:
-        blocks *= 0.25
+    return blocks * 0.25 if fixed else blocks
+
+
+def _cmd_stream(size: int, symbols: int, backend: str, precision: str,
+                workers: int, batch: int, verify: bool, seed: int,
+                record: str) -> str:
+    backend = backend or "asip-batch"
+    fixed = precision == "q15"
+    blocks = _stream_blocks(size, symbols, fixed, seed)
     started = time.perf_counter()
-    if workers and workers >= 2:
+    if workers and workers >= 2 and backend in ("asip", "asip-batch"):
+        # Multi-process instruction-level streams keep the dedicated
+        # sharded driver (worker-local machines, merged StreamStats).
+        from .core.parallel import stream_sharded
+
         stats = stream_sharded(
-            size, blocks, workers=workers, fixed_point=fixed_point,
+            size, blocks, workers=workers, fixed_point=fixed,
             verify=verify, batch=batch,
         )
+        elapsed = time.perf_counter() - started
+        cycles = stats.per_symbol_cycles
+        n_symbols = stats.symbols
     else:
-        stats = StreamingFFT(size, fixed_point=fixed_point).process(
-            blocks, verify=verify, batch=batch
-        )
-    elapsed = time.perf_counter() - started
-    datapath = "Q1.15" if fixed_point else "float"
+        with build_engine(size, backend=backend, precision=precision,
+                          workers=workers, batch=batch) as eng:
+            result = eng.stream(blocks, batch=batch, verify=verify)
+        elapsed = time.perf_counter() - started
+        cycles = result.cycles
+        n_symbols = result.n_symbols
+    total_cycles = int(sum(cycles))
+    per_symbol = total_cycles / n_symbols if n_symbols else 0.0
+    deterministic = len(set(cycles)) <= 1
+    samples = size * n_symbols
+    msps = (
+        msamples_per_second(samples, total_cycles) if total_cycles else 0.0
+    )
+    mbps = paper_mbps(samples, total_cycles) if total_cycles else 0.0
+    datapath = "Q1.15" if fixed else "float"
     lines = [
-        f"N = {size}  ({datapath} datapath)  symbols = {stats.symbols}"
+        f"N = {size}  ({datapath} datapath, backend = {backend})"
+        f"  symbols = {n_symbols}"
         + (f"  workers = {workers}" if workers and workers >= 2 else ""),
-        f"cycles/symbol = {stats.cycles_per_symbol:.1f}"
-        f"   deterministic = {stats.is_deterministic}",
-        f"steady-state throughput = {stats.msamples_per_second:.1f} "
-        f"Msample/s ({stats.mbps_paper_convention:.1f} Mbps, 6-bit conv.)",
+        f"cycles/symbol = {per_symbol:.1f}"
+        f"   deterministic = {deterministic}",
+        f"steady-state throughput = {msps:.1f} "
+        f"Msample/s ({mbps:.1f} Mbps, 6-bit conv.)",
         f"host wall-clock = {elapsed:.2f} s "
-        f"({stats.symbols / elapsed:.1f} symbols/s simulated)",
+        f"({n_symbols / elapsed:.1f} symbols/s simulated)",
     ]
+    if record:
+        row = {
+            "backend": backend, "n": size, "symbols": n_symbols,
+            "precision": precision, "workers": workers,
+            "cycles_per_symbol": per_symbol, "wall_s": elapsed,
+            "symbols_per_s": n_symbols / elapsed if elapsed else 0.0,
+        }
+        record_backend_rows(Path(record), "cli_stream", [row])
+        lines.append(f"recorded -> {record}")
     return "\n".join(lines)
+
+
+def _cmd_bench(sizes: str, symbols: int, backend: str, precision: str,
+               workers: int, seed: int, record: str) -> str:
+    try:
+        size_list = [int(s) for s in sizes.split(",") if s.strip()]
+    except ValueError:
+        raise SystemExit(f"bad --sizes value {sizes!r}")
+    if backend:
+        try:
+            get_backend(backend)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        names = [backend]
+    else:
+        names = None
+    rows = []
+    for n in size_list:
+        rows.extend(benchmark_backends(
+            n, symbols, precisions=(precision,), backends=names,
+            workers=workers, seed=seed,
+        ))
+    body = [
+        (
+            row["backend"], row["n"], row["symbols"],
+            f"{row['wall_ms']:.2f}",
+            f"{row['symbols_per_s']:.0f}",
+            (f"{row['cycles_per_symbol']:.0f}"
+             if row["cycles_per_symbol"] else "-"),
+        )
+        for row in rows
+    ]
+    out = render_table(
+        ["backend", "N", "symbols", "wall ms", "symbols/s",
+         "cycles/symbol"],
+        body,
+        title=f"Facade backends ({precision} datapath, parity-checked)",
+    )
+    if record:
+        record_backend_rows(Path(record), "cli_bench", rows)
+        out += f"\nrecorded -> {record}"
+    return out
+
+
+def record_backend_rows(path: Path, section: str, rows: list) -> None:
+    """Append dated per-backend rows into a BENCH_engine.json-style file.
+
+    The file's other sections (the engine-speed trajectory's ``latest``
+    / ``history``) are preserved; each section keeps its own dated
+    ``latest`` entry plus a bounded ``history`` list.
+    """
+    stored = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict):
+                stored = loaded
+        except (ValueError, OSError):
+            pass
+    entry = {"date": time.strftime("%Y-%m-%d %H:%M:%S"), "rows": rows}
+    block = stored.get(section)
+    history = block.get("history", []) if isinstance(block, dict) else []
+    history.append(entry)
+    stored[section] = {"latest": entry, "history": history[-50:]}
+    path.write_text(json.dumps(stored, indent=2) + "\n")
 
 
 def _cmd_listing(size: int) -> str:
@@ -191,11 +357,19 @@ def main(argv=None) -> int:
     elif args.command == "hw":
         print(_cmd_hw(args.group_size))
     elif args.command == "fft":
-        print(_cmd_fft(args.size, args.fixed_point, args.seed))
+        print(_cmd_fft(args.size, args.backend, _resolve_precision(args),
+                       args.workers, args.seed))
     elif args.command == "stream":
         print(_cmd_stream(
-            args.size, args.symbols, args.workers, args.batch,
-            args.fixed_point, not args.no_verify, args.seed,
+            args.size, args.symbols, args.backend,
+            _resolve_precision(args), args.workers, args.batch,
+            not args.no_verify, args.seed, args.record,
+        ))
+    elif args.command == "bench":
+        print(_cmd_bench(
+            args.sizes, args.symbols, args.backend,
+            _resolve_precision(args), args.workers, args.seed,
+            args.record,
         ))
     elif args.command == "listing":
         print(_cmd_listing(args.size))

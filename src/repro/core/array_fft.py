@@ -261,60 +261,33 @@ class ArrayFFT:
         }
 
 
-# Engines are expensive to build (plan + ROM + pre-rotation store + the
-# compiled tables); the one-shot wrapper keeps one per (N, fixed_point).
-# FFT sizes are powers of two, so the cache stays tiny in practice.
-_ENGINE_CACHE: dict = {}
-_ENGINE_CACHE_LIMIT = 64
-# Sharded engines carry a live worker pool, so they are cached separately
-# keyed on (N, fixed_point, workers).
-_SHARDED_CACHE: dict = {}
-_SHARDED_CACHE_LIMIT = 8
-
-
-def _cached_engine(n_points: int, fixed_point: bool) -> "ArrayFFT":
-    key = (n_points, fixed_point)
-    engine = _ENGINE_CACHE.get(key)
-    if engine is None:
-        if len(_ENGINE_CACHE) >= _ENGINE_CACHE_LIMIT:
-            _ENGINE_CACHE.clear()
-        engine = _ENGINE_CACHE[key] = ArrayFFT(
-            n_points, fixed_point=fixed_point
-        )
-    return engine
-
-
 def array_fft(x, fixed_point: bool = False, workers: int = None) -> np.ndarray:
-    """One-shot convenience wrapper around :class:`ArrayFFT`.
+    """One-shot wrapper — **deprecated**, delegates to :func:`repro.engine`.
 
-    Accepts a single N-point vector or an ``(n_symbols, N)`` batch.
-    Engines are cached keyed on ``(N, fixed_point)`` so repeated calls
-    reuse the compiled plan instead of rebuilding it every time.  With
-    ``workers >= 2`` a batch is sharded across a cached process pool
-    (:class:`~repro.core.parallel.ShardedEngine`), falling back to the
-    serial engine for small batches or when workers are unavailable.
+    Accepts a single N-point vector or an ``(n_symbols, N)`` batch and
+    returns the bare spectrum array, exactly as it always did; the work
+    now runs through the unified facade's cached engines (``compiled``,
+    or ``sharded`` when ``workers >= 2`` on a batch, with the usual
+    serial fallback).  New code should call ``repro.engine(...)``
+    directly and use the richer :class:`~repro.engines.TransformResult`.
     """
+    import warnings
+
+    warnings.warn(
+        "repro.array_fft() is deprecated; use repro.engine(N, "
+        "backend='compiled').transform(x) (or backend='sharded' with "
+        "workers) instead",
+        DeprecationWarning, stacklevel=2,
+    )
+    from ..engines import shared_engine
+
     x = np.asarray(x, dtype=complex)
+    precision = "q15" if fixed_point else "float"
     if x.ndim == 2:
         if workers is not None and workers >= 2:
-            return _cached_sharded(
-                x.shape[1], fixed_point, workers
-            ).transform_many(x)
-        return _cached_engine(x.shape[1], fixed_point).transform_many(x)
-    return _cached_engine(len(x), fixed_point).transform(x)
-
-
-def _cached_sharded(n_points: int, fixed_point: bool, workers: int):
-    from .parallel import ShardedEngine
-
-    key = (n_points, fixed_point, workers)
-    engine = _SHARDED_CACHE.get(key)
-    if engine is None:
-        if len(_SHARDED_CACHE) >= _SHARDED_CACHE_LIMIT:
-            for old in _SHARDED_CACHE.values():
-                old.close()
-            _SHARDED_CACHE.clear()
-        engine = _SHARDED_CACHE[key] = ShardedEngine(
-            n_points, fixed_point=fixed_point, workers=workers
-        )
-    return engine
+            facade = shared_engine(x.shape[1], backend="sharded",
+                                   precision=precision, workers=workers)
+        else:
+            facade = shared_engine(x.shape[1], precision=precision)
+        return facade.transform_many(x).spectrum
+    return shared_engine(len(x), precision=precision).transform(x).spectrum

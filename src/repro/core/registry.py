@@ -1,0 +1,143 @@
+"""Backend capability registry for the unified engine facade.
+
+The facade (:func:`repro.engine`) resolves backend names through this
+registry.  Each backend registers a :class:`BackendSpec` declaring
+
+* a **factory** building the backend implementation for a plan size;
+* the **precisions** it supports (``"float"``, ``"q15"``);
+* whether it accepts multi-process **workers**;
+* which uniform-result fields it actually **emits** (per-symbol cycles,
+  :class:`~repro.sim.stats.SimStats`) — array-level engines compute the
+  same spectra as the instruction-level ones but have no simulated
+  machine behind them, so those fields stay empty/None.
+
+The registry is deliberately open: anything satisfying the backend
+contract documented in DESIGN.md ("Unified engine facade") can be
+registered under a new name and immediately becomes reachable from
+``repro.engine(n, backend="<name>")``, the CLI ``--backend`` flag and
+the parity test suite.  The five built-in backends are registered by
+:mod:`repro.engines` on first use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BackendSpec",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "backend_names",
+    "backend_specs",
+]
+
+#: canonical precision names understood by the facade
+PRECISIONS = ("float", "q15")
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One backend's capability declaration.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``repro.engine(..., backend=name)``).
+    factory:
+        ``factory(n_points, fixed_point, workers, batch, **options)``
+        returning a backend implementation object (see DESIGN.md for the
+        required interface: ``transform_many(blocks) -> (spectra,
+        cycles)``, ``close()``, and the ``fx`` / ``sim_stats`` /
+        ``machine`` attributes).
+    description:
+        One-line human description (shown by the CLI and benches).
+    precisions:
+        Subset of :data:`PRECISIONS` the backend supports.
+    supports_batch:
+        Whether ``transform_many`` amortises work across a batch (every
+        built-in backend does; a hypothetical one-shot backend may not).
+    supports_workers:
+        Whether the factory accepts ``workers >= 2`` (process sharding).
+    emits_cycles:
+        Whether results carry real per-symbol simulated cycle counts.
+    emits_sim_stats:
+        Whether results carry a :class:`SimStats` delta.
+    """
+
+    name: str
+    factory: object
+    description: str = ""
+    precisions: tuple = field(default=PRECISIONS)
+    supports_batch: bool = True
+    supports_workers: bool = False
+    emits_cycles: bool = False
+    emits_sim_stats: bool = False
+
+    def supports_precision(self, precision: str) -> bool:
+        """Whether ``precision`` (canonical name) is supported."""
+        return precision in self.precisions
+
+
+_REGISTRY: dict = {}
+
+
+def register_backend(spec: BackendSpec, replace: bool = False) -> None:
+    """Register ``spec`` under ``spec.name``.
+
+    Re-registering an existing name raises unless ``replace=True`` —
+    accidental shadowing of a built-in backend should be loud.
+    """
+    if not isinstance(spec, BackendSpec):
+        raise TypeError(f"expected a BackendSpec, got {type(spec).__name__}")
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"backend {spec.name!r} is already registered")
+    unknown = [p for p in spec.precisions if p not in PRECISIONS]
+    if unknown:
+        raise ValueError(
+            f"backend {spec.name!r} declares unknown precisions {unknown}; "
+            f"valid names are {list(PRECISIONS)}"
+        )
+    _REGISTRY[spec.name] = spec
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (primarily for tests registering throwaways)."""
+    _REGISTRY.pop(name, None)
+
+
+def _bootstrap() -> None:
+    """Load the built-in backends (registered by :mod:`repro.engines`).
+
+    Imported lazily so ``repro.core`` never depends on ``repro.asip`` at
+    import time; the first registry lookup pulls the defaults in.
+    """
+    import repro.engines  # noqa: F401  (registers on import)
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Look up a backend by name; raises ``ValueError`` with the menu."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        _bootstrap()
+        spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(backend_names())}"
+        )
+    return spec
+
+
+def backend_names() -> list:
+    """Sorted names of every registered backend."""
+    if not _REGISTRY:
+        _bootstrap()
+    return sorted(_REGISTRY)
+
+
+def backend_specs() -> dict:
+    """Snapshot of the registry (name -> :class:`BackendSpec`)."""
+    if not _REGISTRY:
+        _bootstrap()
+    return dict(_REGISTRY)

@@ -1,11 +1,14 @@
-"""End-to-end OFDM link: transmitter, channel, ASIP-backed receiver.
+"""End-to-end OFDM link: transmitter, channel, facade-backed receiver.
 
 One :class:`OfdmLink` wires the substrate together: constellation mapping
 onto N subcarriers, IFFT (host side — the transmitter), a channel model,
-and a receiver whose FFT stage is either the algorithm-level
-:class:`repro.core.ArrayFFT` (fast) or the full instruction-level ASIP
-simulation (exact reproduction of the paper's datapath), followed by
-one-tap equalisation and demapping.
+and a receiver whose FFT stage is any backend of the unified facade
+(:func:`repro.engine`): the algorithm-level ``compiled``/``sharded``
+engines (fast) or the full instruction-level ASIP simulation (exact
+reproduction of the paper's datapath; ``asip-batch`` keeps **one
+persistent machine** and pushes whole symbol bursts through
+:meth:`~repro.asip.FFTASIP.run_batch`), followed by one-tap
+equalisation and demapping.
 """
 
 from __future__ import annotations
@@ -14,9 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..asip.runner import simulate_fft
-from ..core.array_fft import ArrayFFT
-from ..core.parallel import ShardedEngine
+from ..engines import engine as build_engine
 from .channel import MultipathChannel, awgn
 from .modulation import CONSTELLATIONS
 
@@ -30,7 +31,7 @@ class LinkResult:
     tx_bits: np.ndarray
     rx_bits: np.ndarray
     equalised: np.ndarray
-    fft_cycles: int  # 0 when the algorithm-level engine was used
+    fft_cycles: int  # 0 when an algorithm-level engine was used
 
     @property
     def bit_errors(self) -> int:
@@ -50,32 +51,60 @@ class LinkResult:
 
 
 class OfdmLink:
-    """An OFDM link with a pluggable FFT receiver stage.
+    """An OFDM link with a pluggable facade-backed FFT receiver stage.
 
-    ``workers >= 2`` shards the batched transmitter IFFT and (non-ASIP)
-    receiver FFT of :meth:`run_symbols` / :meth:`measure_ber` across a
-    process pool (:class:`~repro.core.parallel.ShardedEngine`); the
-    engine falls back to serial execution for small bursts or when
-    worker processes are unavailable, so results are identical either
-    way.
+    Parameters
+    ----------
+    backend:
+        Receiver FFT backend name (any registered facade backend).
+        Defaults to ``"asip-batch"`` when ``use_asip`` is set,
+        ``"sharded"`` when ``workers >= 2``, else ``"compiled"``.
+    use_asip:
+        Back-compatible switch selecting the instruction-level receiver
+        (now the persistent ``asip-batch`` machine — one
+        :meth:`FFTASIP.run_batch` pass per burst instead of a fresh
+        simulator per symbol).
+    workers:
+        ``workers >= 2`` shards the batched transmitter IFFT and
+        (non-ASIP) receiver FFT of :meth:`run_symbols` /
+        :meth:`measure_ber` / :meth:`measure_ber_sweep` across a
+        process pool; the engine falls back to serial execution for
+        small bursts or when worker processes are unavailable, so
+        results are identical either way.
     """
 
     def __init__(self, n_subcarriers: int, scheme: str = "qpsk",
                  channel: MultipathChannel = None, snr_db: float = 30.0,
                  use_asip: bool = False, seed: int = 0,
-                 workers: int = None):
+                 workers: int = None, backend: str = None):
         if scheme not in CONSTELLATIONS:
             raise ValueError(f"unknown scheme {scheme!r}")
         self.n = n_subcarriers
         self.constellation = CONSTELLATIONS[scheme]
         self.channel = channel
         self.snr_db = snr_db
-        self.use_asip = use_asip
         self.rng = np.random.default_rng(seed)
-        if workers is not None and workers >= 2:
-            self.engine = ShardedEngine(n_subcarriers, workers=workers)
+        sharded = workers is not None and workers >= 2
+        if backend is None:
+            backend = ("asip-batch" if use_asip
+                       else "sharded" if sharded else "compiled")
+        self.backend = backend
+        self.use_asip = use_asip or backend in ("asip", "asip-batch")
+        self.engine = build_engine(
+            n_subcarriers, backend=backend,
+            workers=workers if backend == "sharded" else None,
+        )
+        # The transmitter IFFT always runs host-side on an algorithm
+        # engine (the receiver is what the paper's ASIP implements); a
+        # non-simulated receiver engine doubles as the transmitter.
+        if self.engine.machine is None:
+            self._tx_engine = self.engine
         else:
-            self.engine = ArrayFFT(n_subcarriers)
+            self._tx_engine = build_engine(
+                n_subcarriers,
+                backend="sharded" if sharded else "compiled",
+                workers=workers if sharded else None,
+            )
 
     @property
     def bits_per_symbol(self) -> int:
@@ -83,10 +112,10 @@ class OfdmLink:
         return self.n * self.constellation.bits_per_symbol
 
     def close(self) -> None:
-        """Release the engine's worker pool, if any (idempotent)."""
-        close = getattr(self.engine, "close", None)
-        if close is not None:
-            close()
+        """Release the engines' worker pools, if any (idempotent)."""
+        self.engine.close()
+        if self._tx_engine is not self.engine:
+            self._tx_engine.close()
 
     def __enter__(self) -> "OfdmLink":
         return self
@@ -101,35 +130,27 @@ class OfdmLink:
     def transmit(self, bits) -> tuple:
         """Map and IFFT one symbol; returns (time_signal, subcarriers)."""
         subcarriers = self.constellation.map_bits(np.asarray(bits))
-        time_signal = self.engine.inverse(subcarriers) * self.n
+        time_signal = self._tx_engine.inverse(subcarriers).spectrum * self.n
         return time_signal, subcarriers
 
     def receive(self, time_signal) -> tuple:
-        """FFT (ASIP or algorithm engine) + one-tap equalisation."""
-        if self.use_asip:
-            result = simulate_fft(np.asarray(time_signal, dtype=complex))
-            spectrum = result.spectrum
-            cycles = result.stats.cycles
-        else:
-            spectrum = self.engine.transform(time_signal)
-            cycles = 0
-        return self._equalise(spectrum), cycles
+        """FFT (any facade backend) + one-tap equalisation."""
+        result = self.engine.transform(
+            np.asarray(time_signal, dtype=complex)
+        )
+        return self._equalise(result.spectrum), result.cycles[0]
 
     def receive_many(self, time_signals) -> tuple:
         """Batched receive of an ``(n_symbols, N)`` block of time signals.
 
-        The non-ASIP path runs all symbols through one
-        :meth:`ArrayFFT.transform_many` call; the ASIP path delegates to
-        :meth:`receive` per symbol (instruction-level fidelity is the
-        point there).  Returns ``(equalised_spectra, per_symbol_cycles)``.
+        All symbols run through one facade batch call — for the
+        ``asip-batch`` backend that is one persistent
+        :meth:`FFTASIP.run_batch` machine executing the whole burst.
+        Returns ``(equalised_spectra, per_symbol_cycles)``.
         """
         time_signals = np.asarray(time_signals, dtype=complex)
-        if self.use_asip:
-            received = [self.receive(signal) for signal in time_signals]
-            return (np.stack([spectrum for spectrum, _ in received]),
-                    [cycles for _, cycles in received])
-        spectra = self.engine.transform_many(time_signals)
-        return self._equalise(spectra), [0] * len(time_signals)
+        result = self.engine.transform_many(time_signals)
+        return self._equalise(result.spectrum), result.cycles
 
     def _equalise(self, spectra: np.ndarray) -> np.ndarray:
         """Scale by 1/N and one-tap equalise (broadcasts over batches)."""
@@ -157,24 +178,16 @@ class OfdmLink:
     def run_symbols(self, count: int) -> list:
         """Push ``count`` OFDM symbols end to end with batched FFT passes.
 
-        The transmitter IFFT and (non-ASIP) receiver FFT each run as one
-        :class:`ArrayFFT` batch call over all symbols, amortising the
-        compiled plan across the burst — the multi-symbol traffic path.
+        The transmitter IFFT and receiver FFT each run as one facade
+        batch call over all symbols, amortising the compiled plan (or
+        the simulated program pass) across the burst — the multi-symbol
+        traffic path.
         """
         if count < 1:
             raise ValueError("need at least one symbol")
         payloads = [self.random_bits() for _ in range(count)]
-        subcarriers = np.stack(
-            [self.constellation.map_bits(bits) for bits in payloads]
-        )
-        time_signals = self.engine.inverse_many(subcarriers) * self.n
-        # Channel and noise are applied to the whole burst at once: one
-        # FFT-based circular convolution and one rng draw per batch, with
-        # per-symbol noise power (awgn measures power along the last
-        # axis).
-        if self.channel is not None:
-            time_signals = self.channel.apply(time_signals)
-        time_signals = awgn(time_signals, self.snr_db, rng=self.rng)
+        time_signals = self._transmit_burst(payloads)
+        time_signals = self._channel_burst(time_signals, self.snr_db)
         equalised, cycles = self.receive_many(time_signals)
         return [
             LinkResult(
@@ -186,6 +199,22 @@ class OfdmLink:
             for k in range(count)
         ]
 
+    def _transmit_burst(self, payloads: list) -> np.ndarray:
+        subcarriers = np.stack(
+            [self.constellation.map_bits(bits) for bits in payloads]
+        )
+        return self._tx_engine.inverse_many(subcarriers).spectrum * self.n
+
+    def _channel_burst(self, time_signals: np.ndarray,
+                       snr_db: float) -> np.ndarray:
+        # Channel and noise are applied to the whole burst at once: one
+        # FFT-based circular convolution and one rng draw per batch, with
+        # per-symbol noise power (awgn measures power along the last
+        # axis).
+        if self.channel is not None:
+            time_signals = self.channel.apply(time_signals)
+        return awgn(time_signals, snr_db, rng=self.rng)
+
     def measure_ber(self, symbols: int = 10) -> float:
         """Average BER over several independent symbols (batched)."""
         if symbols < 1:
@@ -196,3 +225,41 @@ class OfdmLink:
             errors += result.bit_errors
             total += len(result.tx_bits)
         return errors / total
+
+    def measure_ber_sweep(self, snr_dbs, symbols: int = 10) -> dict:
+        """BER at each SNR point, the whole sweep batched as one burst.
+
+        All ``len(snr_dbs) * symbols`` symbols are transmitted and
+        received in **one** facade batch per direction, so a
+        ``workers >= 2`` link shards the entire BER curve row-wise
+        across its process pool (``ShardedEngine`` underneath) instead
+        of running SNR points one by one — with the usual serial
+        fallback when the pool is unavailable or the burst is small.
+        Noise is drawn per SNR point (per-symbol noise power), then the
+        receiver FFT runs over the concatenated burst.
+
+        Returns ``{snr_db: ber}`` in the order given.
+        """
+        snr_dbs = [float(s) for s in snr_dbs]
+        if not snr_dbs:
+            raise ValueError("need at least one SNR point")
+        if symbols < 1:
+            raise ValueError("need at least one symbol")
+        total = len(snr_dbs) * symbols
+        payloads = [self.random_bits() for _ in range(total)]
+        time_signals = self._transmit_burst(payloads)
+        noisy = np.concatenate([
+            self._channel_burst(
+                time_signals[k * symbols:(k + 1) * symbols], snr
+            )
+            for k, snr in enumerate(snr_dbs)
+        ])
+        equalised, _ = self.receive_many(noisy)
+        sweep = {}
+        for k, snr in enumerate(snr_dbs):
+            errors = 0
+            for j in range(k * symbols, (k + 1) * symbols):
+                rx = self.constellation.unmap_symbols(equalised[j])
+                errors += int(np.sum(rx != payloads[j]))
+            sweep[snr] = errors / (symbols * self.bits_per_symbol)
+        return sweep

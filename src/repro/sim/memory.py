@@ -10,6 +10,23 @@ The memory also serves as plain word storage for base-ISA ``lw``/``sw``
 (the software baselines choose their own layouts).  In ``float_mode``
 (the idealised datapath) a word may hold a Python complex directly; in
 fixed-point mode complex points are stored packed and bit-true.
+
+Storage is **ndarray-backed** so the fast execution paths'
+``gather_*``/``scatter_*`` calls are true numpy fancy indexing instead
+of Python loops:
+
+* packed mode — one int64 word vector (every packed point is a 32-bit
+  integer);
+* float mode — one complex128 vector holding the complex points and the
+  numeric projection of raw words.
+
+Raw ``lw``/``sw`` word semantics are preserved by a dict **overlay**
+(the old storage model, retained as the oracle for values the ndarray
+cannot represent exactly): every raw :meth:`write_word` keeps its exact
+Python value — arbitrary ints, floats, anything — in the overlay, and
+:meth:`read_word` returns it bit-for-bit.  The complex-point layer
+clears overlay entries it overwrites.  FFT data traffic never touches
+the overlay, so the vectorised paths stay pure fancy indexing.
 """
 
 from __future__ import annotations
@@ -45,7 +62,16 @@ class MainMemory:
             raise ValueError(f"memory size must be positive, got {words}")
         self.size = words
         self.float_mode = float_mode
-        self._data = [0] * words
+        if float_mode:
+            self._data = np.zeros(words, dtype=complex)
+            # Marks words written through the complex-point layer; raw
+            # reads of untouched words must still return the integer 0.
+            self._is_complex = np.zeros(words, dtype=bool)
+        else:
+            self._data = np.zeros(words, dtype=np.int64)
+            self._is_complex = None
+        # Overlay of exact raw-word values (the dict-path oracle).
+        self._raw: dict = {}
 
     def _check(self, address: int) -> None:
         if not (0 <= address < self.size):
@@ -54,24 +80,49 @@ class MainMemory:
             )
 
     def read_word(self, address: int):
-        """Read one word."""
+        """Read one word (exact raw value for ``lw``/``sw`` traffic)."""
         self._check(address)
-        return self._data[address]
+        if self._raw:
+            value = self._raw.get(address)
+            if value is not None:
+                return value
+        if self.float_mode:
+            if self._is_complex[address]:
+                return complex(self._data[address])
+            return 0
+        return int(self._data[address])
 
     def write_word(self, address: int, value) -> None:
-        """Write one word."""
+        """Write one word, preserving the exact Python value."""
         self._check(address)
-        self._data[address] = value
+        if self.float_mode:
+            self._is_complex[address] = False
+            self._raw[address] = value
+            try:
+                self._data[address] = complex(value)
+            except (TypeError, ValueError):
+                self._data[address] = 0
+            return
+        if isinstance(value, (int, np.integer)) and (
+            -(2 ** 63) <= value < 2 ** 63
+        ):
+            self._data[address] = value
+            if self._raw:
+                self._raw.pop(address, None)
+        else:
+            # Out-of-range or non-integer word in packed mode: keep the
+            # exact value on the overlay, zero the array projection.
+            self._data[address] = 0
+            self._raw[address] = value
 
     # Complex-point layer -------------------------------------------------
 
     def read_complex(self, point_address: int) -> complex:
         """Read the complex point at ``point_address``."""
         self._check(point_address)
-        value = self._data[point_address]
         if self.float_mode:
-            return complex(value)
-        word = int(value)
+            return complex(self._data[point_address])
+        word = int(self._data[point_address])
         return FixedComplex.from_words(
             (word >> 16) & 0xFFFF, word & 0xFFFF
         ).to_complex()
@@ -79,32 +130,23 @@ class MainMemory:
     def write_complex(self, point_address: int, value: complex) -> None:
         """Store a complex point at ``point_address``."""
         self._check(point_address)
+        if self._raw:
+            self._raw.pop(point_address, None)
         if self.float_mode:
             self._data[point_address] = complex(value)
+            self._is_complex[point_address] = True
         else:
             re_word, im_word = quantize(complex(value)).to_words()
             self._data[point_address] = (re_word << 16) | im_word
 
     def read_complex_pair(self, first: int, second: int) -> tuple:
         """Read the two complex points of one 64-bit bus beat."""
-        if self.float_mode:
-            self._check(first)
-            self._check(second)
-            data = self._data
-            return complex(data[first]), complex(data[second])
         return self.read_complex(first), self.read_complex(second)
 
     def write_complex_pair(self, first: int, second: int,
                            value_first: complex,
                            value_second: complex) -> None:
         """Store the two complex points of one 64-bit bus beat."""
-        if self.float_mode:
-            self._check(first)
-            self._check(second)
-            data = self._data
-            data[first] = complex(value_first)
-            data[second] = complex(value_second)
-            return
         self.write_complex(first, value_first)
         self.write_complex(second, value_second)
 
@@ -119,38 +161,43 @@ class MainMemory:
                 f"{int(addresses.max())}] exceeds [0, {self.size})"
             )
 
+    def _drop_overlay(self, addresses: np.ndarray) -> None:
+        if self._raw:
+            pop = self._raw.pop
+            for a in addresses.tolist():
+                pop(a, None)
+
     def gather_words(self, addresses) -> np.ndarray:
         """Bulk :meth:`read_word` of integer words at an index array.
 
         Only meaningful in fixed-point (packed) mode, where every data
-        word is an integer.
+        word is an integer: one fancy-index gather, with any overlay
+        entries (raw out-of-range words) patched in on top.
         """
         addresses = np.asarray(addresses, dtype=np.int64)
         self._check_array(addresses)
-        data = self._data
-        return np.fromiter(
-            (data[a] for a in addresses.tolist()),
-            dtype=np.int64, count=len(addresses),
-        )
+        out = self._data[addresses]
+        if self._raw:
+            raw = self._raw
+            for k, a in enumerate(addresses.tolist()):
+                if a in raw:
+                    out[k] = raw[a]
+        return out
 
     def scatter_words(self, addresses, words) -> None:
         """Bulk :meth:`write_word` of integer words (packed mode)."""
         addresses = np.asarray(addresses, dtype=np.int64)
         self._check_array(addresses)
-        data = self._data
-        for a, w in zip(addresses.tolist(), np.asarray(words).tolist()):
-            data[a] = w
+        self._drop_overlay(addresses)
+        self._data[addresses] = words
 
     def gather_complex(self, addresses) -> np.ndarray:
         """Bulk :meth:`read_complex` at an index array."""
         addresses = np.asarray(addresses, dtype=np.int64)
         self._check_array(addresses)
-        data = self._data
         if self.float_mode:
-            return np.array(
-                [data[a] for a in addresses.tolist()], dtype=complex
-            )
-        re, im = words_to_fixed_array(self.gather_words(addresses))
+            return self._data[addresses]
+        re, im = words_to_fixed_array(self._data[addresses])
         return fixed_to_complex_array(re, im)
 
     def scatter_complex(self, addresses, values) -> None:
@@ -160,24 +207,23 @@ class MainMemory:
         """
         addresses = np.asarray(addresses, dtype=np.int64)
         self._check_array(addresses)
-        data = self._data
+        self._drop_overlay(addresses)
         if self.float_mode:
-            for a, v in zip(addresses.tolist(), values):
-                data[a] = complex(v)
+            self._data[addresses] = values
+            self._is_complex[addresses] = True
             return
         re, im = quantize_array(values)
-        words = fixed_to_words_array(re, im)
-        for a, w in zip(addresses.tolist(), words.tolist()):
-            data[a] = w
+        self._data[addresses] = fixed_to_words_array(re, im)
 
     def load_complex_vector(self, base_point: int, values) -> None:
         """Bulk-store a complex vector starting at ``base_point``."""
-        for k, v in enumerate(np.asarray(values, dtype=complex)):
-            self.write_complex(base_point + k, complex(v))
+        values = np.asarray(values, dtype=complex)
+        self.scatter_complex(
+            base_point + np.arange(len(values), dtype=np.int64), values
+        )
 
     def read_complex_vector(self, base_point: int, count: int) -> np.ndarray:
         """Bulk-read ``count`` complex points."""
-        return np.array(
-            [self.read_complex(base_point + k) for k in range(count)],
-            dtype=complex,
-        )
+        return np.array(self.gather_complex(
+            base_point + np.arange(count, dtype=np.int64)
+        ))

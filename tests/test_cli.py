@@ -57,6 +57,86 @@ class TestCommands:
         assert "Standard SW FFT" in out
 
 
+class TestFacadeFlags:
+    def test_fft_on_compiled_backend(self, capsys):
+        assert main(["fft", "--size", "32", "--backend", "compiled"]) == 0
+        out = capsys.readouterr().out
+        assert "backend = compiled" in out
+        assert "max error" in out
+        assert "cycles = " not in out  # no simulated machine behind it
+
+    def test_fft_precision_flag(self, capsys):
+        assert main(["fft", "--size", "16", "--precision", "q15"]) == 0
+        out = capsys.readouterr().out
+        assert "Q1.15" in out
+        assert "overflow count" in out
+
+    def test_stream_backend_flag(self, capsys):
+        assert main(["stream", "--size", "32", "--symbols", "4",
+                     "--backend", "compiled"]) == 0
+        out = capsys.readouterr().out
+        assert "backend = compiled" in out
+        assert "deterministic = True" in out
+
+    def test_stream_records_row(self, tmp_path, capsys):
+        target = tmp_path / "bench.json"
+        assert main(["stream", "--size", "32", "--symbols", "4",
+                     "--record", str(target)]) == 0
+        assert "recorded" in capsys.readouterr().out
+        import json
+
+        stored = json.loads(target.read_text())
+        row = stored["cli_stream"]["latest"]["rows"][0]
+        assert row["backend"] == "asip-batch"
+        assert row["symbols"] == 4
+
+    def test_bench_all_backends(self, tmp_path, capsys):
+        target = tmp_path / "bench.json"
+        assert main(["bench", "--sizes", "16", "--symbols", "4",
+                     "--record", str(target)]) == 0
+        out = capsys.readouterr().out
+        for name in ("compiled", "reference", "sharded",
+                     "asip", "asip-batch"):
+            assert name in out
+        import json
+
+        stored = json.loads(target.read_text())
+        rows = stored["cli_bench"]["latest"]["rows"]
+        assert {r["backend"] for r in rows} == {
+            "compiled", "reference", "sharded", "asip", "asip-batch"
+        }
+
+    def test_bench_unknown_backend_exits_with_menu(self):
+        with pytest.raises(SystemExit, match="compiled"):
+            main(["bench", "--sizes", "16", "--backend", "bogus",
+                  "--record", ""])
+
+    def test_fft_workers_on_serial_backend_is_loud(self):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["fft", "--size", "16", "--backend", "compiled",
+                  "--workers", "2"])
+
+    def test_bench_single_backend_no_write(self, capsys):
+        assert main(["bench", "--sizes", "16", "--symbols", "2",
+                     "--backend", "compiled", "--record", ""]) == 0
+        out = capsys.readouterr().out
+        assert "compiled" in out
+        assert "recorded" not in out
+
+    def test_bench_history_appends(self, tmp_path):
+        target = tmp_path / "bench.json"
+        for _ in range(2):
+            assert main(["bench", "--sizes", "16", "--symbols", "2",
+                         "--backend", "compiled",
+                         "--record", str(target)]) == 0
+        import json
+
+        stored = json.loads(target.read_text())
+        assert len(stored["cli_bench"]["history"]) == 2
+        assert (stored["cli_bench"]["latest"]
+                == stored["cli_bench"]["history"][-1])
+
+
 class TestReport:
     def test_report_small(self, capsys):
         assert main(["report", "--size", "64"]) == 0

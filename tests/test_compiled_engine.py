@@ -12,7 +12,7 @@ import pytest
 
 from repro.addressing.coefficients import PreRotationStore
 from repro.core import ArrayFFT, array_fft
-from repro.core.array_fft import _ENGINE_CACHE
+from repro.engines import _SHARED_CACHE
 from repro.core.fixed_point import (
     FixedPointContext,
     quantize,
@@ -167,20 +167,21 @@ class TestLookupMany:
 
 class TestEngineCache:
     def test_one_shot_wrapper_reuses_engines(self):
-        _ENGINE_CACHE.clear()
+        _SHARED_CACHE.clear()
         x = random_vector(64, seed=3)
         first = array_fft(x)
-        assert (64, False) in _ENGINE_CACHE
-        engine = _ENGINE_CACHE[(64, False)]
+        key = (64, "compiled", "float", None)
+        assert key in _SHARED_CACHE
+        engine = _SHARED_CACHE[key]
         second = array_fft(x)
-        assert _ENGINE_CACHE[(64, False)] is engine
+        assert _SHARED_CACHE[key] is engine
         assert np.allclose(first, second)
         array_fft(x * 0.2, fixed_point=True)
-        assert (64, True) in _ENGINE_CACHE
-        assert len(_ENGINE_CACHE) == 2
+        assert (64, "compiled", "q15", None) in _SHARED_CACHE
+        assert len(_SHARED_CACHE) == 2
 
     def test_cached_results_still_correct(self):
-        _ENGINE_CACHE.clear()
+        _SHARED_CACHE.clear()
         for seed in range(3):
             x = random_vector(32, seed=seed)
             assert np.allclose(array_fft(x), np.fft.fft(x), atol=1e-9)

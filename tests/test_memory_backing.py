@@ -1,0 +1,132 @@
+"""ndarray-backed MainMemory: fancy-indexed bulk paths, raw-word oracle.
+
+The word store is an int64 (packed) / complex128 (float) ndarray so the
+fast execution paths' gathers and scatters are true fancy indexing; the
+dict overlay preserves exact raw ``lw``/``sw`` semantics for anything
+the ndarray cannot hold losslessly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.memory import MainMemory
+
+
+class TestNdarrayBacking:
+    def test_packed_store_is_int64_array(self):
+        mem = MainMemory(64, float_mode=False)
+        assert mem._data.dtype == np.int64
+
+    def test_float_store_is_complex_array(self):
+        mem = MainMemory(64, float_mode=True)
+        assert mem._data.dtype == complex
+
+
+class TestRawWordSemantics:
+    def test_packed_int_roundtrip_exact(self):
+        mem = MainMemory(32, float_mode=False)
+        for value in (0, 1, -1, 2**31 - 1, -(2**31), 2**62):
+            mem.write_word(3, value)
+            got = mem.read_word(3)
+            assert got == value and isinstance(got, int)
+
+    def test_packed_overlay_holds_oversize_values(self):
+        mem = MainMemory(32, float_mode=False)
+        huge = 2**80 + 7
+        mem.write_word(5, huge)
+        assert mem.read_word(5) == huge
+        # A later in-range write must drop the overlay entry.
+        mem.write_word(5, 42)
+        assert mem.read_word(5) == 42
+
+    def test_float_mode_raw_types_preserved(self):
+        mem = MainMemory(32, float_mode=True)
+        mem.write_word(10, 2.5)
+        got = mem.read_word(10)
+        assert got == 2.5 and isinstance(got, float)
+        mem.write_word(11, 7)
+        got = mem.read_word(11)
+        assert got == 7 and isinstance(got, int)
+
+    def test_float_mode_untouched_word_reads_integer_zero(self):
+        mem = MainMemory(8, float_mode=True)
+        got = mem.read_word(2)
+        assert got == 0 and isinstance(got, int)
+
+    def test_complex_write_supersedes_raw_word(self):
+        mem = MainMemory(8, float_mode=True)
+        mem.write_word(1, 5)
+        mem.write_complex(1, 0.5 + 0.25j)
+        assert mem.read_word(1) == 0.5 + 0.25j
+        assert mem.read_complex(1) == 0.5 + 0.25j
+
+    def test_raw_word_visible_through_complex_layer(self):
+        # Historical behaviour: read_complex of a numeric raw word
+        # returns its complex projection.
+        mem = MainMemory(8, float_mode=True)
+        mem.write_word(4, 2.5)
+        assert mem.read_complex(4) == complex(2.5)
+
+
+class TestFancyIndexedBulkPaths:
+    @pytest.mark.parametrize("float_mode", [True, False])
+    def test_gather_scatter_complex_matches_scalar_loop(self, float_mode):
+        rng = np.random.default_rng(3)
+        mem = MainMemory(64, float_mode=float_mode)
+        values = 0.4 * (rng.standard_normal(20) + 1j * rng.standard_normal(20))
+        addresses = rng.permutation(64)[:20].astype(np.int64)
+        mem.scatter_complex(addresses, values)
+        want = np.array(
+            [mem.read_complex(int(a)) for a in addresses], dtype=complex
+        )
+        got = mem.gather_complex(addresses)
+        assert np.array_equal(got, want)
+
+    def test_gather_words_matches_read_word(self):
+        rng = np.random.default_rng(4)
+        mem = MainMemory(64, float_mode=False)
+        addresses = np.arange(16, dtype=np.int64)
+        words = rng.integers(0, 2**32, size=16, dtype=np.int64)
+        mem.scatter_words(addresses, words)
+        assert np.array_equal(mem.gather_words(addresses), words)
+        for a in addresses:
+            assert mem.read_word(int(a)) == words[a]
+
+    def test_gather_words_overlay_semantics(self):
+        mem = MainMemory(16, float_mode=False)
+        mem.write_word(0, 100)
+        mem.write_word(1, 2**70)  # overlay-resident
+        assert mem.read_word(1) == 2**70  # scalar path stays exact
+        assert mem.gather_words(np.array([0]))[0] == 100
+        # The bulk word path cannot hold an oversize raw value; it must
+        # refuse loudly (the old fromiter(int64) path raised the same).
+        with pytest.raises(OverflowError):
+            mem.gather_words(np.array([0, 1]))
+
+    def test_gather_is_a_copy(self):
+        mem = MainMemory(16, float_mode=True)
+        mem.write_complex(0, 1 + 1j)
+        got = mem.gather_complex(np.array([0]))
+        got[0] = 0
+        assert mem.read_complex(0) == 1 + 1j
+
+    def test_vector_roundtrip(self):
+        rng = np.random.default_rng(5)
+        mem = MainMemory(32, float_mode=False)
+        values = 0.3 * (rng.standard_normal(8) + 1j * rng.standard_normal(8))
+        mem.load_complex_vector(4, values)
+        got = mem.read_complex_vector(4, 8)
+        want = np.array([mem.read_complex(4 + k) for k in range(8)])
+        assert np.array_equal(got, want)
+        assert np.allclose(got, values, atol=1e-4)  # Q1.15 grid
+
+    def test_bounds_checked(self):
+        mem = MainMemory(8, float_mode=True)
+        with pytest.raises(IndexError):
+            mem.gather_complex(np.array([0, 8]))
+        with pytest.raises(IndexError):
+            mem.scatter_complex(np.array([-1]), np.array([0j]))
+        with pytest.raises(IndexError):
+            mem.read_word(8)
+        with pytest.raises(IndexError):
+            mem.write_word(-1, 0)

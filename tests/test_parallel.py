@@ -5,7 +5,7 @@ import pytest
 
 from repro.asip.streaming import StreamingFFT
 from repro.core import ArrayFFT, ShardedEngine, array_fft, stream_sharded
-from repro.core.array_fft import _SHARDED_CACHE
+from repro.engines import _SHARED_CACHE
 from repro.core.parallel import available_workers
 from repro.ofdm import MultipathChannel, OfdmLink
 
@@ -135,7 +135,7 @@ class TestArrayFftWrapper:
         want = array_fft(blocks)
         got = array_fft(blocks, workers=2)
         assert np.array_equal(got, want)
-        assert (64, False, 2) in _SHARDED_CACHE
+        assert (64, "sharded", "float", 2) in _SHARED_CACHE
 
     def test_vector_input_unchanged(self):
         x = random_blocks(1, 64, seed=11)[0]
