@@ -15,9 +15,17 @@ silently:
   floor **3x**;
 * streamed 64-symbol run — multi-symbol ``run_batch`` execution vs the
   serial per-symbol loop (identical stats), floor **2x**;
+* streaming-session throughput — the queue-fed ``repro.session``
+  front-end at the default batch vs a ``batch=1`` session (identical
+  cycles), floor **2x** (quick **1.3x**) — the session layer must not
+  eat the batching win;
 * sharded 512-symbol ``transform_many`` — 2-worker process pool vs the
   serial batch engine (bit-identical), floor **1.5x**, asserted only
   when the host actually exposes >= 2 CPUs (recorded regardless).
+
+Each run also executes every registered **scenario preset** through the
+pipeline API (``repro.run_scenario``) and records the per-scenario rows
+(BER/EVM/wall-clock) in the dated trajectory.
 
 Each run appends a dated entry to the ``history`` list in
 ``BENCH_engine.json`` at the repo root (the perf trajectory across PRs);
@@ -51,6 +59,7 @@ FLOORS = {
     "asip": 3.0,
     "fixed_asip": 3.0,
     "stream": 2.0,
+    "session": 2.0,
     "sharded": 1.5,
 }
 
@@ -63,6 +72,7 @@ QUICK_FLOORS = {
     "asip": 1.5,
     "fixed_asip": 1.5,
     "stream": 1.3,
+    "session": 1.3,
 }
 
 SWEEP_SIZES = [256, 512, 1024, 2048]
@@ -178,6 +188,43 @@ def _time_stream(n, symbols, reps=2):
     return t_ref, t_fast
 
 
+def _time_session(n, symbols, reps=2):
+    """Queue-fed session at the default batch vs a batch=1 session."""
+    import repro
+
+    rng = np.random.default_rng(n + 1)
+    blocks = rng.standard_normal((symbols, n)) + 1j * rng.standard_normal(
+        (symbols, n)
+    )
+
+    def run(session):
+        session.feed(blocks)
+        session.flush()
+        return session.drain()
+
+    capacity = 2 * symbols  # hold the whole burst; we drain at the end
+    with repro.session(n, backend="asip-batch", batch=1,
+                       capacity=capacity) as serial, \
+            repro.session(n, backend="asip-batch",
+                          capacity=capacity) as batched:
+        run(serial), run(batched)  # warm the predecoded programs
+        t_ref = _best_of(lambda: run(serial), reps)
+        t_fast = _best_of(lambda: run(batched), reps)
+        a = repro.concat_results(run(serial), engine=serial.engine)
+        b = repro.concat_results(run(batched), engine=batched.engine)
+        assert a.cycles == b.cycles
+        assert np.allclose(a.spectrum, b.spectrum, atol=1e-9)
+    return t_ref, t_fast
+
+
+def _scenario_rows(quick=False):
+    """Every registered scenario preset through the pipeline API."""
+    from repro.analysis import scenario_sweep
+
+    overrides = {"n_points": 64, "symbols": 4} if quick else {}
+    return scenario_sweep(**overrides)
+
+
 def _time_sharded(n, symbols, workers=2, reps=2):
     """Sharded transform_many vs the serial batch engine."""
     rng = np.random.default_rng(7)
@@ -258,6 +305,15 @@ def collect_measurements(quick=False):
         "batched_ms": fast_s * 1e3,
         "speedup": ref_s / fast_s,
     }
+    ref_q, fast_q = _time_session(stream_n, stream_symbols)
+    results["session"] = {
+        "n": stream_n,
+        "symbols": stream_symbols,
+        "serial_ms": ref_q * 1e3,
+        "batched_ms": fast_q * 1e3,
+        "speedup": ref_q / fast_q,
+    }
+    results["scenarios"] = _scenario_rows(quick)
     if not quick:
         ref_p, fast_p = _time_sharded(1024, 512, workers=2)
         results["sharded"] = {
@@ -343,6 +399,25 @@ def test_stream_batch_speedup_floor(measurements):
     assert row["speedup"] >= FLOORS["stream"]
 
 
+def test_session_speedup_floor(measurements):
+    row = measurements["session"]
+    print(f"\nsession {row['symbols']}x{row['n']}: "
+          f"{row['serial_ms']:.1f} ms -> {row['batched_ms']:.1f} ms "
+          f"({row['speedup']:.1f}x)")
+    assert row["speedup"] >= FLOORS["session"]
+
+
+def test_scenario_rows_cover_registry(measurements):
+    from repro.scenarios import scenario_names
+
+    rows = measurements["scenarios"]
+    assert {row["scenario"] for row in rows} == set(scenario_names())
+    for row in rows:
+        print(f"\nscenario {row['scenario']:<14} "
+              f"{row['wall_ms']:8.2f} ms  ber={row.get('ber', '-')}")
+        assert row["wall_ms"] > 0
+
+
 def test_sharded_scaling_floor(measurements):
     row = measurements["sharded"]
     print(f"\nsharded {row['symbols']}x{row['n']} @ {row['workers']}w: "
@@ -389,6 +464,7 @@ def run_quick() -> int:
         ("asip", results["asip"]["speedup"]),
         ("fixed_asip", results["fixed_asip"]["speedup"]),
         ("stream", results["stream"]["speedup"]),
+        ("session", results["session"]["speedup"]),
     ]
     failed = False
     for name, speedup in checks:
@@ -402,6 +478,12 @@ def run_quick() -> int:
     for row in results["facade"]:
         print(f"quick facade {row['backend']:<11} {row['precision']:<5} "
               f"{row['wall_ms']:8.2f} ms  ok")
+    # Scenario exercise: every registered preset ran through the
+    # pipeline API (shrunk geometry).
+    for row in results["scenarios"]:
+        ber = f"ber={row['ber']:.3f}" if "ber" in row else "spectral"
+        print(f"quick scenario {row['scenario']:<14} "
+              f"{row['wall_ms']:8.2f} ms  {ber}  ok")
     return 1 if failed else 0
 
 

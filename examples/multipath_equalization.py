@@ -1,38 +1,41 @@
 """Frequency-selective channel + one-tap equalisation on the ASIP.
 
-Uses the `repro.ofdm` substrate: 16-QAM on 128 subcarriers through a
-3-tap Rayleigh multipath channel, received by the instruction-level ASIP
-simulation, equalised per subcarrier, and swept over SNR to produce a
-small BER waterfall — the system context in which the paper's FFT
-throughput numbers matter.
+Runs the registered ``multipath-eq`` scenario preset (16-QAM on 128
+subcarriers through a 3-tap Rayleigh multipath channel) through the
+pipeline API — first on the instruction-level ASIP backend with cycle
+accounting, then swept over SNR with the fast algorithm-level engine to
+produce a small BER waterfall — the system context in which the paper's
+FFT throughput numbers matter.
 
 Run:  python examples/multipath_equalization.py
 """
 
 import numpy as np
 
-from repro.analysis import render_table
-from repro.ofdm import MultipathChannel, OfdmLink
+import repro
+from repro.analysis import ber_sweep, render_table
+from repro.scenarios import get_scenario
 
 
 def main():
-    channel = MultipathChannel.exponential_profile(
-        n_taps=3, decay=0.4, rng=np.random.default_rng(2)
-    )
+    spec = get_scenario("multipath-eq")
+    channel = spec.make_channel()
+    print(f"scenario: {spec.name} — {spec.description}")
     print("channel taps:", np.round(channel.taps, 3))
 
-    # One symbol through the full instruction-level receiver.
-    link = OfdmLink(128, scheme="16qam", channel=channel,
-                    snr_db=35.0, use_asip=True, seed=1)
-    result = link.run_symbol()
-    print(f"\nASIP-received symbol: {result.bit_errors} bit errors "
-          f"in {len(result.tx_bits)} bits, FFT = {result.fft_cycles} cycles")
+    # The preset through the full instruction-level receiver: same
+    # scenario, different backend name — nothing else changes.
+    result = repro.run_scenario("multipath-eq", symbols=1,
+                                backend="asip-batch", seed=1)
+    print(f"\nASIP-received symbol: {result.metrics['bit_errors']} bit "
+          f"errors in {result.metrics['total_bits']} bits, "
+          f"FFT = {result.total_cycles} cycles")
 
     # BER waterfall with the fast algorithm-level engine: the whole
     # sweep is one batched burst through the link's facade engine (add
     # workers=2 to shard the curve across a process pool).
-    with OfdmLink(128, scheme="16qam", channel=channel, seed=3) as sweep:
-        curve = sweep.measure_ber_sweep((8, 12, 16, 20, 24, 28), symbols=8)
+    curve = ber_sweep(snr_dbs=(8, 12, 16, 20, 24, 28), symbols=8,
+                      scenario="multipath-eq", seed=3)
     rows = [(int(snr), f"{ber:.4f}") for snr, ber in curve.items()]
     print()
     print(render_table(

@@ -1,14 +1,12 @@
-"""Quickstart: the array FFT three ways, through one facade.
+"""Quickstart: scenarios, pipelines, engines — one facade, three doors.
 
-``repro.engine(N, backend=...)`` is the single entry point; the backend
-name selects how the same transform is computed:
-
-1. Algorithm level — ``backend="compiled"`` (default) runs the paper's
-   restructured FFT on the compiled-plan vectorised engine
-   (numpy-verifiable; ``"sharded"`` adds a process pool).
-2. Instruction level — ``backend="asip"`` / ``"asip-batch"`` run the
-   generated Algorithm-1 program on the full ASIP simulator and report
-   cycles/loads/stores in the uniform result.
+1. Scenario level — ``repro.run_scenario("uwb-ofdm")`` runs a named
+   preset (the paper's motivating MB-UWB receiver) end to end through
+   the declarative pipeline API; swapping ``backend="asip-batch"``
+   reruns the same scenario on the full instruction-level ASIP
+   simulation with cycle accounting.
+2. Engine level — ``repro.engine(N, backend=...)`` is the raw transform
+   facade underneath every pipeline stage.
 3. Hardware level — ``hardware_report`` gives the gate/power/timing
    cost of the custom extension.
 
@@ -23,34 +21,48 @@ from repro.hw import hardware_report
 
 
 def main():
+    # --- 1. scenario level --------------------------------------------
+    print("registered scenarios:", ", ".join(repro.scenario_names()))
+
+    # The paper's workload on the fast algorithm-level backend...
+    result = repro.run_scenario("uwb-ofdm", symbols=4)
+    print(f"\nuwb-ofdm (backend={result.backend}): "
+          f"BER = {result.ber:.4f}, EVM = {result.evm_percent:.2f} %")
+
+    # ...and the *same scenario* on the instruction-level ASIP — only
+    # the backend name changes, and the uniform result gains cycles.
+    result = repro.run_scenario("uwb-ofdm", symbols=2, n_points=256,
+                                backend="asip-batch")
+    stats = result.transform.stats
+    print(render_table(
+        ["cycles/symbol", "instructions", "loads", "stores", "D$ misses"],
+        [[int(result.metrics["cycles_per_symbol"]), stats.instructions,
+          stats.loads, stats.stores, stats.dcache_misses]],
+        title="\nuwb-ofdm on the simulated ASIP (N=256, 2 symbols)",
+    ))
+
+    # Scenarios are data: build the pipeline yourself to inspect or
+    # swap stages without rewiring anything.
+    with repro.build_scenario("multipath-eq", n_points=64) as pipe:
+        print("\n" + pipe.describe())
+        print(f"multipath BER over 8 symbols: "
+              f"{pipe.run(symbols=8).ber:.4f}")
+
+    # --- 2. engine level ----------------------------------------------
     rng = np.random.default_rng(42)
     x = rng.standard_normal(256) + 1j * rng.standard_normal(256)
-
-    # --- 1. algorithm level -------------------------------------------
     with repro.engine(256) as eng:  # backend="compiled" is the default
         spectrum = eng.transform(x).spectrum
-        counts = eng.impl.fft.memory_operation_counts()
     error = np.max(np.abs(spectrum - np.fft.fft(x)))
-    print(f"array FFT vs numpy.fft.fft: max error = {error:.2e}")
-    print(f"planned ops for N=256: {counts}")
+    print(f"\narray FFT vs numpy.fft.fft: max error = {error:.2e}")
 
-    # --- 2. instruction level -----------------------------------------
+    from repro.asip import msamples_per_second, paper_mbps
+
     with repro.engine(256, backend="asip") as eng:
-        result = eng.transform(x)
-        stats = result.stats  # the uniform result carries SimStats
-        assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-8)
-        print(render_table(
-            ["cycles", "instructions", "loads", "stores", "D$ misses"],
-            [[stats.cycles, stats.instructions, stats.loads, stats.stores,
-              stats.dcache_misses]],
-            title="\nASIP simulation (N=256)",
-        ))
-        from repro.asip import msamples_per_second, paper_mbps
-
-        cycles = result.total_cycles
-        print(f"throughput: {msamples_per_second(256, cycles):.1f} "
-              f"Msample/s ({paper_mbps(256, cycles):.1f} Mbps in the "
-              f"paper's 6-bit convention) at 300 MHz")
+        cycles = eng.transform(x).total_cycles
+    print(f"throughput: {msamples_per_second(256, cycles):.1f} "
+          f"Msample/s ({paper_mbps(256, cycles):.1f} Mbps in the "
+          f"paper's 6-bit convention) at 300 MHz")
 
     # --- 3. hardware level --------------------------------------------
     report = hardware_report(32)

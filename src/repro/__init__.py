@@ -1,16 +1,33 @@
 """repro — reproduction of the DATE'09 array-FFT ASIP (Guan, Lin, Fei).
 
-The one front door is :func:`repro.engine`:
+Three front doors, one facade:
 
-    >>> import repro
-    >>> with repro.engine(1024, backend="asip-batch") as eng:
-    ...     result = eng.transform_many(blocks)
+* :func:`repro.engine` — a uniform transform engine on any registered
+  backend::
 
-It returns an :class:`~repro.engines.Engine` whose uniform calls
-(``transform``, ``transform_many``, ``inverse``, ``inverse_many``,
-``stream``) all yield :class:`~repro.engines.TransformResult` objects,
-whatever backend runs underneath.  Backends plug in through
-:mod:`repro.core.registry`.
+      >>> import repro
+      >>> with repro.engine(1024, backend="asip-batch") as eng:
+      ...     result = eng.transform_many(blocks)
+
+* :func:`repro.pipeline` — a declarative stage graph (source ->
+  modulate -> channel -> transform -> equalize -> demodulate ->
+  metrics) executing batched through one engine; scenario presets
+  resolve to these::
+
+      >>> repro.run_scenario("uwb-ofdm", backend="asip-batch").ber
+
+* :func:`repro.session` — a queue-fed streaming session with explicit
+  lifecycle (feed/drain/flush/close) and bounded-buffer backpressure::
+
+      >>> with repro.session(1024, backend="asip-batch") as sess:
+      ...     sess.feed(block)
+      ...     chunks = sess.drain()   # TransformResult per chunk
+
+Everything resolves through open registries — engine backends
+(:mod:`repro.core.registry`), pipeline stages
+(:mod:`repro.pipelines.registry`), scenarios (:mod:`repro.scenarios`) —
+so new implementations and workloads plug in by name without touching
+call sites.
 
 Public API layers underneath the facade:
 
@@ -26,25 +43,57 @@ Public API layers underneath the facade:
 """
 
 from .core import ArrayFFT, array_fft
-from .core.registry import BackendSpec, register_backend
+from .core.registry import BackendSpec, UnknownNameError, register_backend
 from .engines import (
     Engine,
     TransformResult,
     backend_names,
     backend_specs,
+    concat_results,
     engine,
 )
+from .pipelines import (
+    Pipeline,
+    PipelineResult,
+    StageSpec,
+    pipeline,
+    register_stage,
+    stage_names,
+)
+from .scenarios import (
+    ScenarioSpec,
+    build_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from .sessions import StreamSession, session
 
-__version__ = "2.0.0"
+__version__ = "3.0.0"
 
 __all__ = [
     "engine",
     "Engine",
     "TransformResult",
+    "concat_results",
     "BackendSpec",
+    "UnknownNameError",
     "register_backend",
     "backend_names",
     "backend_specs",
+    "pipeline",
+    "Pipeline",
+    "PipelineResult",
+    "StageSpec",
+    "register_stage",
+    "stage_names",
+    "ScenarioSpec",
+    "register_scenario",
+    "scenario_names",
+    "build_scenario",
+    "run_scenario",
+    "session",
+    "StreamSession",
     "ArrayFFT",
     "array_fft",
     "__version__",

@@ -1,6 +1,12 @@
 """Analysis helpers: table rendering, sweeps and verification."""
 
-from .sweep import PAPER_TABLE1, ber_sweep, size_sweep, table1_rows
+from .sweep import (
+    PAPER_TABLE1,
+    ber_sweep,
+    scenario_sweep,
+    size_sweep,
+    table1_rows,
+)
 from .tables import format_ratio, render_table
 from .verify import max_error, spectrum_snr_db, verify_against_numpy
 
@@ -9,6 +15,7 @@ __all__ = [
     "format_ratio",
     "size_sweep",
     "ber_sweep",
+    "scenario_sweep",
     "table1_rows",
     "PAPER_TABLE1",
     "max_error",

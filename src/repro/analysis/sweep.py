@@ -14,7 +14,8 @@ from ..asip.runner import AsipRunResult
 from ..asip.throughput import paper_mbps, throughput_report
 from ..engines import engine as build_engine
 
-__all__ = ["size_sweep", "PAPER_TABLE1", "table1_rows", "ber_sweep"]
+__all__ = ["size_sweep", "PAPER_TABLE1", "table1_rows", "ber_sweep",
+           "scenario_sweep"]
 
 #: the paper's Table I: size -> (cycles, Mbps)
 PAPER_TABLE1 = {
@@ -81,19 +82,90 @@ def table1_rows(results: dict) -> list:
     return rows
 
 
-def ber_sweep(n_points: int, snr_dbs, symbols: int = 10,
+def ber_sweep(n_points: int = None, snr_dbs=None, symbols: int = 10,
               scheme: str = "qpsk", channel=None, seed: int = 0,
-              workers: int = None, backend: str = None) -> dict:
+              workers: int = None, backend: str = None,
+              scenario: str = None) -> dict:
     """BER curve over ``snr_dbs`` through one facade-backed link.
 
     The entire sweep (every SNR point's symbol burst) is batched
     through the link's engine in one pass per direction, so
     ``workers >= 2`` shards the curve across a
     :class:`~repro.core.parallel.ShardedEngine` process pool (serial
-    fallback as usual).  Returns ``{snr_db: ber}``.
+    fallback as usual).  ``scenario=`` names a registered preset to
+    supply the link parameters (size, scheme, channel) instead of the
+    explicit arguments.  Returns ``{snr_db: ber}``.
     """
     from ..ofdm.link import OfdmLink
 
-    with OfdmLink(n_points, scheme=scheme, channel=channel, seed=seed,
-                  workers=workers, backend=backend) as link:
+    if snr_dbs is None:
+        raise ValueError("ber_sweep needs snr_dbs")
+    if scenario is not None:
+        link = OfdmLink.from_scenario(
+            scenario, seed=seed, workers=workers, backend=backend,
+            **({"n_subcarriers": n_points} if n_points else {}),
+        )
+    elif n_points is None:
+        raise ValueError("ber_sweep needs n_points or scenario=")
+    else:
+        link = OfdmLink(n_points, scheme=scheme, channel=channel,
+                        seed=seed, workers=workers, backend=backend)
+    with link:
         return link.measure_ber_sweep(snr_dbs, symbols=symbols)
+
+
+def scenario_sweep(names=None, symbols: int = None, backend: str = None,
+                   precision: str = None, workers: int = None,
+                   seed: int = None, n_points: int = None) -> list:
+    """Run scenario presets through the pipeline API; one row dict each.
+
+    ``names`` defaults to every registered scenario.  Overrides
+    (``backend=``, ``precision=``, ``workers=``, ``n_points=``,
+    ``symbols=``) apply uniformly — the sweep the CLI ``run --all``
+    and the bench recorder use.  Each row carries the scenario name,
+    geometry, backend, wall-clock, and whatever metrics the chain
+    produced (BER/EVM for modulated chains, cycles/overflow when the
+    backend emits them).
+    """
+    import time
+
+    from ..scenarios import get_scenario, scenario_names
+
+    rows = []
+    for name in (names if names is not None else scenario_names()):
+        spec = get_scenario(name)
+        overrides = {}
+        if backend is not None:
+            overrides["backend"] = backend
+        if precision is not None:
+            overrides["precision"] = precision
+        if workers is not None:
+            overrides["workers"] = workers
+        if n_points is not None:
+            overrides["n_points"] = n_points
+        count = spec.symbols if symbols is None else symbols
+        with spec.build(**overrides) as pipe:
+            # Warm the lazily-built engines (plan compilation, program
+            # predecode) with a one-symbol pass so the recorded wall
+            # clock measures scenario throughput, not construction.
+            pipe.run(symbols=1, seed=seed)
+            started = time.perf_counter()
+            result = pipe.run(symbols=count, seed=seed)
+            elapsed = time.perf_counter() - started
+            chain = pipe.describe()
+        row = {
+            "scenario": name,
+            "n": result.n_points,
+            "symbols": result.symbols,
+            "backend": result.backend,
+            "precision": result.precision,
+            "chain": chain,
+            "wall_ms": elapsed * 1e3,
+            "symbols_per_s": count / elapsed if elapsed else 0.0,
+        }
+        for key in ("ber", "evm_percent", "cycles_per_symbol",
+                    "overflow_count"):
+            if key in result.metrics:
+                row[key] = result.metrics[key]
+        rows.append(row)
+    return rows

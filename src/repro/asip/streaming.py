@@ -79,11 +79,15 @@ class StreamStats:
 class StreamingFFT:
     """Run a stream of blocks through one compiled program.
 
-    The machine and program come from the unified facade's
-    ``asip-batch`` backend (one persistent :class:`FFTASIP` plus its
-    generated Algorithm-1 program); this driver adds the
-    :class:`StreamStats` accounting and bounded-buffer verification the
-    streaming benchmarks report.
+    Since the sessions API landed this is a thin wrapper over
+    :class:`repro.sessions.StreamSession`: the machine and program come
+    from the unified facade's ``asip-batch`` backend (one persistent
+    :class:`FFTASIP` plus its generated Algorithm-1 program), a session
+    feeds and chunks the stream, and this driver folds the per-chunk
+    :class:`~repro.engines.TransformResult`\\ s into the
+    :class:`StreamStats` accounting (plus the bounded-buffer
+    verification) the streaming benchmarks report.  New code should
+    hold a session directly (:func:`repro.session`).
     """
 
     #: Symbols per batched execution pass through ``run_batch``.
@@ -122,38 +126,39 @@ class StreamingFFT:
         so verification does not dominate streamed wall-clock while the
         buffered data stays bounded on arbitrarily long streams.
         """
+        from ..sessions import StreamSession
+
         batch = self.DEFAULT_BATCH if batch is None else max(int(batch), 1)
         stats = StreamStats(n_points=self.n_points)
-        pending = []
         inputs = []
         outputs = []
 
-        def flush() -> None:
-            if not pending:
-                return
-            chunk = np.stack(pending)
-            pending.clear()
-            spectra, cycles = self.asip.run_batch(self.program, chunk)
-            stats.symbols += len(chunk)
-            stats.total_cycles += int(sum(cycles))
-            stats.per_symbol_cycles.extend(int(c) for c in cycles)
-            if verify:
-                inputs.extend(chunk)
-                outputs.extend(spectra)
-                if len(inputs) >= self.VERIFY_CHUNK:
-                    self._verify_chunk(inputs, outputs, stats.symbols)
-                    inputs.clear()
-                    outputs.clear()
+        def consume(results) -> None:
+            for result in results:
+                stats.symbols += result.n_symbols
+                stats.total_cycles += result.total_cycles
+                stats.per_symbol_cycles.extend(result.cycles)
+                if verify:
+                    outputs.extend(np.atleast_2d(result.spectrum))
+                    if len(outputs) >= self.VERIFY_CHUNK:
+                        self._verify_chunk(
+                            inputs[:len(outputs)], outputs, stats.symbols
+                        )
+                        del inputs[:len(outputs)]
+                        outputs.clear()
 
+        session = StreamSession(self.engine, batch=batch)
         for block in blocks:
-            # Copy: the caller may reuse one buffer per block, and the
-            # chunk only executes after later blocks arrive.
-            pending.append(np.array(block, dtype=complex))
-            if len(pending) >= batch:
-                flush()
-        flush()
-        if verify and inputs:
-            self._verify_chunk(inputs, outputs, stats.symbols)
+            if verify:
+                # The session copies blocks on feed; keep our own copy
+                # for the chunked reference check.
+                inputs.append(np.array(block, dtype=complex))
+            session.feed(block)
+            consume(session.drain())
+        session.flush()
+        consume(session.drain())
+        if verify and outputs:
+            self._verify_chunk(inputs[:len(outputs)], outputs, stats.symbols)
         return stats
 
     def _verify_chunk(self, inputs: list, outputs: list,

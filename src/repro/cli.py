@@ -11,12 +11,17 @@ Usage::
                                         # steady-state streamed throughput
     python -m repro bench [--sizes N,M] [--record PATH]
                                         # per-backend facade benchmark
+    python -m repro run <scenario> [--symbols K] [--backend B]
+    python -m repro run --list          # registered scenario presets
+    python -m repro run --all           # every preset, one table
     python -m repro listing --size N    # the generated program listing
 
-The transform-running subcommands (``fft``, ``stream``, ``bench``)
-share the facade flags ``--backend`` / ``--precision`` / ``--workers``
-and run through :func:`repro.engine`, so every registered backend is
-reachable from the command line.
+The transform-running subcommands (``fft``, ``stream``, ``bench``,
+``run``) share the facade flags ``--backend`` / ``--precision`` /
+``--workers`` and run through :func:`repro.engine`, so every registered
+backend is reachable from the command line; ``run`` resolves named
+presets from the scenario registry (:mod:`repro.scenarios`) into
+pipelines.
 """
 
 from __future__ import annotations
@@ -53,10 +58,11 @@ def _engine_flags() -> argparse.ArgumentParser:
                         help="facade backend (default depends on the "
                              f"subcommand; registered: "
                              f"{', '.join(backend_names())})")
-    common.add_argument("--precision", type=str, default="float",
+    common.add_argument("--precision", type=str, default=None,
                         choices=["float", "q15", "fixed"],
-                        help="datapath precision (fixed is an alias "
-                             "for q15)")
+                        help="datapath precision (fixed is an alias for "
+                             "q15; default float, or the scenario's own "
+                             "for `run`)")
     common.add_argument("--workers", type=int, default=None,
                         help="process-pool size for sharding backends")
     return common
@@ -113,6 +119,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--record", type=str, default="BENCH_engine.json",
                        help="JSON file receiving the per-backend rows "
                             "('' disables the write)")
+
+    run = sub.add_parser(
+        "run", parents=[common],
+        help="run a named scenario preset through the pipeline API",
+    )
+    run.add_argument("scenario", nargs="?", default=None,
+                     help="registered scenario name (see run --list)")
+    run.add_argument("--symbols", type=int, default=None,
+                     help="burst size (default: the preset's)")
+    run.add_argument("--size", type=int, default=None,
+                     help="override the preset's FFT size")
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--list", action="store_true",
+                     help="list registered scenarios and exit")
+    run.add_argument("--all", action="store_true",
+                     help="run every registered scenario (one table)")
+    run.add_argument("--record", type=str, default="",
+                     help="append this run's per-scenario rows to a "
+                          "BENCH_engine.json-style file")
 
     listing = sub.add_parser("listing", help="show the generated program")
     listing.add_argument("--size", type=int, default=64)
@@ -343,6 +368,97 @@ def record_backend_rows(path: Path, section: str, rows: list) -> None:
     path.write_text(json.dumps(stored, indent=2) + "\n")
 
 
+def _scenario_listing() -> str:
+    from .scenarios import scenario_specs
+
+    body = [
+        (spec.name, spec.n_points, spec.scheme or "-", spec.precision,
+         spec.description)
+        for spec in scenario_specs().values()
+    ]
+    return render_table(
+        ["scenario", "N", "scheme", "precision", "description"],
+        sorted(body),
+        title="Registered scenarios (python -m repro run <name>)",
+    )
+
+
+def _scenario_row_table(rows: list, title: str) -> str:
+    body = [
+        (
+            row["scenario"], row["n"], row["symbols"], row["backend"],
+            row["precision"],
+            f"{row['ber']:.4f}" if "ber" in row else "-",
+            (f"{row['evm_percent']:.2f}" if "evm_percent" in row else "-"),
+            (f"{row['cycles_per_symbol']:.0f}"
+             if row.get("cycles_per_symbol") else "-"),
+            row.get("overflow_count", "-"),
+            f"{row['wall_ms']:.1f}",
+        )
+        for row in rows
+    ]
+    return render_table(
+        ["scenario", "N", "symbols", "backend", "precision", "BER",
+         "EVM %", "cycles/sym", "overflow", "wall ms"],
+        body,
+        title=title,
+    )
+
+
+def _cmd_run(args) -> str:
+    from .analysis.sweep import scenario_sweep
+    from .core.registry import UnknownNameError
+    from .scenarios import get_scenario, scenario_names
+
+    if args.list:
+        return _scenario_listing()
+    overrides = dict(
+        backend=args.backend,
+        precision=args.precision,
+        workers=args.workers,
+        n_points=args.size,
+        symbols=args.symbols,
+        seed=args.seed,
+    )
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if args.all:
+        rows = scenario_sweep(**overrides)
+        out = _scenario_row_table(rows, "Scenario sweep (pipeline API)")
+    else:
+        if not args.scenario:
+            raise SystemExit(
+                "run needs a scenario name (or --list / --all); "
+                f"registered: {', '.join(scenario_names())}"
+            )
+        try:
+            spec = get_scenario(args.scenario)
+        except UnknownNameError as exc:
+            raise SystemExit(str(exc))
+        rows = scenario_sweep(names=[spec.name], **overrides)
+        row = rows[0]
+        lines = [
+            f"{spec.name}: {spec.description}",
+            row["chain"],
+            f"symbols = {row['symbols']}   wall = {row['wall_ms']:.1f} ms "
+            f"({row['symbols_per_s']:.0f} symbols/s)",
+        ]
+        if "ber" in row:
+            lines.append(f"BER = {row['ber']:.5f}"
+                         + (f"   EVM = {row['evm_percent']:.2f} %"
+                            if "evm_percent" in row else ""))
+        if row.get("cycles_per_symbol"):
+            lines.append(
+                f"FFT cycles/symbol = {row['cycles_per_symbol']:.0f}"
+            )
+        if row["precision"] == "q15":
+            lines.append(f"overflow count = {row.get('overflow_count', 0)}")
+        out = "\n".join(lines)
+    if args.record:
+        record_backend_rows(Path(args.record), "cli_run", rows)
+        out += f"\nrecorded -> {args.record}"
+    return out
+
+
 def _cmd_listing(size: int) -> str:
     return generate_fft_program(size).listing()
 
@@ -371,6 +487,8 @@ def main(argv=None) -> int:
             _resolve_precision(args), args.workers, args.seed,
             args.record,
         ))
+    elif args.command == "run":
+        print(_cmd_run(args))
     elif args.command == "listing":
         print(_cmd_listing(args.size))
     elif args.command == "report":

@@ -25,9 +25,10 @@ advances by the plan total per symbol exactly as the serial path does.
 
 The module also shards the *instruction-level* streaming workload:
 :func:`stream_sharded` splits a symbol stream across worker processes
-each running a :class:`~repro.asip.streaming.StreamingFFT` and merges
-the per-shard :class:`StreamStats` (cycle counts are deterministic, so
-the merged totals equal a single-machine run).
+each streaming through a facade ``asip-batch`` engine; the per-shard
+:class:`~repro.engines.TransformResult`\\ s merge through
+:func:`repro.engines.concat_results` (cycle counts are deterministic,
+so the merged totals equal a single-machine run).
 """
 
 from __future__ import annotations
@@ -86,14 +87,18 @@ def _run_transform_shard(task):
 
 def _init_stream_worker(n_points: int, fixed_point: bool) -> None:
     global _WORKER_STREAM
-    from ..asip.streaming import StreamingFFT
+    from ..engines import engine as build_engine
 
-    _WORKER_STREAM = StreamingFFT(n_points, fixed_point=fixed_point)
+    _WORKER_STREAM = build_engine(
+        n_points, backend="asip-batch",
+        precision="q15" if fixed_point else "float",
+    )
 
 
 def _run_stream_shard(task):
+    """Stream one shard; returns the facade's uniform TransformResult."""
     blocks, verify, batch = task
-    return _WORKER_STREAM.process(blocks, verify=verify, batch=batch)
+    return _WORKER_STREAM.stream(blocks, batch=batch, verify=verify)
 
 
 class ShardedEngine:
@@ -238,20 +243,40 @@ class ShardedEngine:
             pass
 
 
+def _result_to_stream_stats(result, n_points: int):
+    """Fold a facade TransformResult into the streaming API's StreamStats."""
+    from ..asip.streaming import StreamStats
+
+    return StreamStats(
+        n_points=n_points,
+        symbols=result.n_symbols,
+        total_cycles=result.total_cycles,
+        per_symbol_cycles=list(result.cycles),
+    )
+
+
 def stream_sharded(n_points: int, blocks, workers: int = None,
                    fixed_point: bool = False, verify: bool = True,
-                   batch: int = None):
+                   batch: int = None, as_result: bool = False):
     """Shard a symbol stream across worker processes running the ASIP.
 
     Splits ``blocks`` (an ``(n_symbols, N)`` array or list of blocks)
-    into one shard per worker, runs each through a worker-local
-    :class:`StreamingFFT`, and merges the resulting
-    :class:`StreamStats`.  Per-symbol cycle counts are deterministic, so
-    the merged totals are identical to a single-machine run; only host
-    wall-clock changes.  Falls back to a local streamed run when the
-    pool is unavailable or the stream is too short to shard.
+    into one shard per worker, streams each through a worker-local
+    facade engine (``asip-batch`` backend), and merges the per-shard
+    :class:`~repro.engines.TransformResult`\\ s through
+    :func:`repro.engines.concat_results` — the same merge path every
+    chunked consumer uses.  Per-symbol cycle counts are deterministic,
+    so the merged totals are identical to a single-machine run; only
+    host wall-clock changes.  Falls back to a local streamed run when
+    the pool is unavailable or the stream is too short to shard.
+
+    Returns the merged result folded into :class:`StreamStats` (the
+    historical return type); pass ``as_result=True`` for the raw merged
+    :class:`TransformResult` (spectra, cycles, stats and overflow
+    deltas included).
     """
-    from ..asip.streaming import StreamingFFT, StreamStats
+    from ..engines import concat_results
+    from ..engines import engine as build_engine
 
     blocks = np.asarray(blocks, dtype=complex)
     if blocks.ndim != 2 or blocks.shape[1] != n_points:
@@ -259,28 +284,33 @@ def stream_sharded(n_points: int, blocks, workers: int = None,
             f"expected an (n_symbols, {n_points}) stream, "
             f"got shape {blocks.shape}"
         )
+    precision = "q15" if fixed_point else "float"
+
+    def run_local():
+        with build_engine(n_points, backend="asip-batch",
+                          precision=precision) as eng:
+            return eng.stream(blocks, batch=batch, verify=verify)
+
     workers = available_workers() if workers is None else max(int(workers), 0)
     if workers < 2 or len(blocks) < 2 * workers:
-        return StreamingFFT(n_points, fixed_point=fixed_point).process(
-            blocks, verify=verify, batch=batch
-        )
-    shards = [s for s in np.array_split(blocks, workers) if len(s)]
-    merged = StreamStats(n_points=n_points)
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=_pool_context(),
-            initializer=_init_stream_worker,
-            initargs=(n_points, fixed_point),
-        ) as pool:
-            results = list(
-                pool.map(_run_stream_shard,
-                         [(shard, verify, batch) for shard in shards])
+        merged = run_local()
+    else:
+        shards = [s for s in np.array_split(blocks, workers) if len(s)]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=_pool_context(),
+                initializer=_init_stream_worker,
+                initargs=(n_points, fixed_point),
+            ) as pool:
+                results = list(
+                    pool.map(_run_stream_shard,
+                             [(shard, verify, batch) for shard in shards])
+                )
+            merged = concat_results(
+                results, n_points=n_points, backend="asip-batch",
+                precision=precision,
             )
-    except Exception:
-        return StreamingFFT(n_points, fixed_point=fixed_point).process(
-            blocks, verify=verify, batch=batch
-        )
-    for shard_stats in results:
-        merged.merge(shard_stats)
-    return merged
+        except Exception:
+            merged = run_local()
+    return merged if as_result else _result_to_stream_stats(merged, n_points)

@@ -25,12 +25,29 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "BackendSpec",
+    "UnknownNameError",
     "register_backend",
     "unregister_backend",
     "get_backend",
     "backend_names",
     "backend_specs",
 ]
+
+
+class UnknownNameError(KeyError, ValueError):
+    """An unknown registry name; the message lists what *is* registered.
+
+    Every registry in the package (engine backends here, pipeline stages
+    in :mod:`repro.pipelines.registry`, scenarios in
+    :mod:`repro.scenarios`) raises this on a failed lookup.  It
+    subclasses both ``KeyError`` (it is a failed name lookup) and
+    ``ValueError`` (what historical callers catch), so existing
+    ``except ValueError`` handlers keep working.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ shows repr(args[0]); we carry a sentence.
+        return self.args[0] if self.args else ""
 
 #: canonical precision names understood by the facade
 PRECISIONS = ("float", "q15")
@@ -122,7 +139,7 @@ def get_backend(name: str) -> BackendSpec:
         _bootstrap()
         spec = _REGISTRY.get(name)
     if spec is None:
-        raise ValueError(
+        raise UnknownNameError(
             f"unknown backend {name!r}; registered backends: "
             f"{', '.join(backend_names())}"
         )

@@ -56,6 +56,7 @@ __all__ = [
     "TransformResult",
     "engine",
     "shared_engine",
+    "concat_results",
     "benchmark_backends",
     "normalize_precision",
     "backend_names",
@@ -162,6 +163,75 @@ def _stats_delta(before: dict, stats: SimStats) -> SimStats:
         taken_branches=stats.taken_branches - before["taken_branches"],
         stall_cycles=stats.stall_cycles - before["stall_cycles"],
         custom_ops=custom,
+    )
+
+
+def _sum_sim_stats(deltas: list) -> SimStats:
+    """Sum :class:`SimStats` deltas (None when no machine was involved)."""
+    deltas = [delta for delta in deltas if delta is not None]
+    if not deltas:
+        return None
+    total = SimStats()
+    for delta in deltas:
+        total.cycles += delta.cycles
+        total.instructions += delta.instructions
+        total.loads += delta.loads
+        total.stores += delta.stores
+        total.dcache_hits += delta.dcache_hits
+        total.dcache_misses += delta.dcache_misses
+        total.branches += delta.branches
+        total.taken_branches += delta.taken_branches
+        total.stall_cycles += delta.stall_cycles
+        for key, value in delta.custom_ops.items():
+            total.custom_ops[key] = total.custom_ops.get(key, 0) + value
+    return total
+
+
+def concat_results(results, *, engine: "Engine" = None, n_points: int = None,
+                   backend: str = None, precision: str = None
+                   ) -> TransformResult:
+    """Merge per-chunk :class:`TransformResult`\\ s into one batch result.
+
+    The canonical merge path for anything that executes a stream in
+    chunks — :class:`~repro.sessions.StreamSession`, `Engine.stream`,
+    and :func:`~repro.core.parallel.stream_sharded`'s worker shards all
+    route through it.  Spectra concatenate along the symbol axis,
+    per-symbol cycles concatenate, :class:`SimStats` deltas and Q1.15
+    overflow deltas sum.  ``engine`` (or the explicit keywords) supplies
+    the identity for an empty merge; mixed ``n_points`` is an error.
+    """
+    results = list(results)
+    if engine is not None:
+        n_points = engine.n_points
+        backend = engine.backend
+        precision = engine.precision
+    if not results:
+        if n_points is None:
+            raise ValueError(
+                "cannot merge zero results without engine= or n_points="
+            )
+        return TransformResult(
+            spectrum=np.empty((0, n_points), dtype=complex),
+            backend=backend, precision=precision, n_points=n_points,
+        )
+    first = results[0]
+    n_points = first.n_points if n_points is None else n_points
+    for result in results:
+        if result.n_points != n_points:
+            raise ValueError(
+                f"cannot merge results of different sizes "
+                f"({result.n_points} != {n_points})"
+            )
+    return TransformResult(
+        spectrum=np.concatenate(
+            [np.atleast_2d(result.spectrum) for result in results]
+        ),
+        backend=first.backend if backend is None else backend,
+        precision=first.precision if precision is None else precision,
+        n_points=n_points,
+        cycles=[cycle for result in results for cycle in result.cycles],
+        stats=_sum_sim_stats([result.stats for result in results]),
+        overflow_count=sum(result.overflow_count for result in results),
     )
 
 
@@ -309,57 +379,29 @@ class Engine:
                verify: bool = False) -> TransformResult:
         """Consume an iterable of blocks in chunks; one merged result.
 
-        Blocks are buffered into chunks of ``batch`` symbols (default:
-        the engine's ``batch``, else 64) and pushed through
-        :meth:`transform_many` — for the ``asip-batch`` backend that is
-        one :meth:`FFTASIP.run_batch` pass per chunk.  With ``verify``
-        every chunk is checked against a batched ``np.fft.fft``
-        reference before the next is executed.
+        A convenience wrapper over the streaming-session substrate
+        (:class:`repro.sessions.StreamSession`): the whole iterable is
+        fed through one session in chunks of ``batch`` symbols (default:
+        the engine's ``batch``, else 64) — for the ``asip-batch``
+        backend each chunk is one :meth:`FFTASIP.run_batch` pass — and
+        the per-chunk results merge into one :class:`TransformResult`
+        via :func:`concat_results`.  With ``verify`` every chunk is
+        checked against a batched ``np.fft.fft`` reference before the
+        next executes.  Callers that need incremental consumption or
+        backpressure should hold a session directly
+        (:func:`repro.session`).
         """
         self._ensure_open()
-        chunk_size = batch or self.batch or 64
-        chunk_size = max(int(chunk_size), 1)
-        fx = self.impl.fx
-        stats = self.impl.sim_stats
-        overflow_before = fx.overflow_count if fx is not None else 0
-        stats_before = _stats_snapshot(stats)
-        spectra = []
-        cycles = []
-        pending = []
+        from .sessions import StreamSession
 
-        def flush() -> None:
-            if not pending:
-                return
-            batch_in = np.stack(pending)
-            pending.clear()
-            out, chunk_cycles = self.impl.transform_many(batch_in)
-            if verify:
-                self._verify_chunk(batch_in, out, len(cycles))
-            spectra.append(np.asarray(out))
-            cycles.extend(int(c) for c in chunk_cycles)
-
+        sess = StreamSession(self, batch=batch, verify=verify)
+        results = []
         for block in blocks:
-            # Copy: the caller may reuse one buffer per block, and the
-            # chunk only executes after later blocks arrive.
-            pending.append(np.array(block, dtype=complex))
-            if len(pending) >= chunk_size:
-                flush()
-        flush()
-        out = (
-            np.concatenate(spectra) if spectra
-            else np.empty((0, self.n_points), dtype=complex)
-        )
-        return TransformResult(
-            spectrum=out,
-            backend=self.backend,
-            precision=self.precision,
-            n_points=self.n_points,
-            cycles=cycles,
-            stats=_stats_delta(stats_before, stats),
-            overflow_count=(
-                fx.overflow_count - overflow_before if fx is not None else 0
-            ),
-        )
+            sess.feed(block)
+            results.extend(sess.drain())
+        sess.flush()
+        results.extend(sess.drain())
+        return concat_results(results, engine=self)
 
     def _verify_chunk(self, blocks: np.ndarray, outputs: np.ndarray,
                       symbols_before: int) -> None:

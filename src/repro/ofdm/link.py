@@ -106,6 +106,35 @@ class OfdmLink:
                 workers=workers if sharded else None,
             )
 
+    @classmethod
+    def from_scenario(cls, name: str, **overrides) -> "OfdmLink":
+        """Build a link from a registered scenario preset.
+
+        The preset supplies ``n_subcarriers`` / ``scheme`` / ``channel``
+        / ``snr_db``; keyword overrides win (``backend=``, ``workers=``,
+        ``seed=``, ``n_subcarriers=``, ...).  Scenarios whose stage
+        chain is not the modulated OFDM shape (e.g. ``spectral``) have
+        no link equivalent and raise ``ValueError``.
+        """
+        from ..scenarios import get_scenario
+
+        spec = get_scenario(name)
+        if spec.scheme is None:
+            raise ValueError(
+                f"scenario {name!r} is not a modulated OFDM workload; "
+                f"run it through repro.pipeline()/run_scenario() instead"
+            )
+        options = dict(
+            scheme=spec.scheme,
+            channel=spec.make_channel(),
+            snr_db=spec.snr_db if spec.snr_db is not None else 30.0,
+            seed=spec.seed,
+            backend=spec.backend,
+        )
+        n_subcarriers = overrides.pop("n_subcarriers", spec.n_points)
+        options.update(overrides)
+        return cls(n_subcarriers, **options)
+
     @property
     def bits_per_symbol(self) -> int:
         """Payload bits carried by one OFDM symbol."""

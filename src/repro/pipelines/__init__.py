@@ -1,0 +1,45 @@
+"""Composable pipeline API: declarative stage graphs over the facade.
+
+``repro.pipeline(N, stages=[...])`` builds a validated stage chain
+(each stage a registered, capability-described component — see
+:mod:`repro.pipelines.registry`) executing batched through one
+:func:`repro.engine` backend.  Scenario presets in
+:mod:`repro.scenarios` resolve to these pipelines.
+"""
+
+from .graph import (
+    DEFAULT_OFDM_CHAIN,
+    SPECTRUM_CHAIN,
+    Pipeline,
+    PipelineGraphError,
+    PipelineResult,
+    pipeline,
+)
+from .registry import (
+    StageSpec,
+    build_stage,
+    get_stage,
+    register_stage,
+    stage_names,
+    stage_specs,
+    unregister_stage,
+)
+from .stages import PipelineContext, Stage
+
+__all__ = [
+    "pipeline",
+    "Pipeline",
+    "PipelineResult",
+    "PipelineGraphError",
+    "PipelineContext",
+    "Stage",
+    "StageSpec",
+    "register_stage",
+    "unregister_stage",
+    "get_stage",
+    "build_stage",
+    "stage_names",
+    "stage_specs",
+    "DEFAULT_OFDM_CHAIN",
+    "SPECTRUM_CHAIN",
+]

@@ -1,0 +1,216 @@
+"""Scenario registry: named presets resolving to pipeline configs.
+
+The paper positions the FFT ASIP as the engine of *multi-standard* OFDM
+receivers; this module is where those standards live as data.  A
+:class:`ScenarioSpec` names a complete workload — FFT size, stage
+chain, constellation, channel model, SNR, precision — and
+:meth:`ScenarioSpec.build` resolves it to a ready
+:class:`~repro.pipelines.Pipeline` on any facade backend.  One call
+runs a preset end to end::
+
+    >>> import repro
+    >>> result = repro.run_scenario("uwb-ofdm", backend="asip-batch")
+    >>> result.ber, result.total_cycles
+
+Built-in presets (``repro.scenario_names()``):
+
+=================== =====================================================
+``uwb-ofdm``        802.15.3a MB-UWB: 1024-carrier QPSK over AWGN — the
+                    paper's motivating workload (Section I)
+``wimax-ofdm``      802.16 WiMAX: 256-carrier 16-QAM over AWGN (the
+                    2.5 MHz bandwidth point of the scaling family)
+``multipath-eq``    frequency-selective reception: 128-carrier 16-QAM
+                    through a 3-tap Rayleigh channel with one-tap
+                    equalisation
+``spectral``        plain Q1.15 spectral analysis of a block stream (no
+                    modulation) — StreamingFFT's workload with overflow
+                    accounting
+=================== =====================================================
+
+The registry is open like the backend and stage registries: register a
+spec under a new name and it is immediately reachable from
+``repro.run_scenario``, ``OfdmLink.from_scenario``,
+``analysis.scenario_sweep`` and ``python -m repro run <name>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .core.registry import UnknownNameError
+from .ofdm.channel import MultipathChannel
+from .pipelines import DEFAULT_OFDM_CHAIN, SPECTRUM_CHAIN, Pipeline
+
+__all__ = [
+    "ScenarioSpec",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "scenario_names",
+    "scenario_specs",
+    "build_scenario",
+    "run_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named workload preset.
+
+    The schema (also documented in DESIGN.md, "Scenario registry"):
+    everything a pipeline constructor needs plus run defaults.
+    ``channel_profile`` keeps the channel *recipe* ``(n_taps, decay,
+    rng_seed)`` rather than a live object, so every build draws
+    identical taps and stays reproducible across processes.
+    """
+
+    name: str
+    description: str
+    n_points: int
+    stages: tuple = DEFAULT_OFDM_CHAIN
+    scheme: str = "qpsk"
+    snr_db: float = None
+    precision: str = "float"
+    backend: str = None          # None -> the pipeline default rule
+    source_scale: float = 1.0
+    channel_profile: tuple = None  # (n_taps, decay, rng_seed)
+    symbols: int = 16            # default burst for run_scenario / CLI
+    seed: int = 0
+
+    def make_channel(self) -> MultipathChannel:
+        """Instantiate the preset's channel (None when profile unset)."""
+        if self.channel_profile is None:
+            return None
+        n_taps, decay, rng_seed = self.channel_profile
+        return MultipathChannel.exponential_profile(
+            n_taps=n_taps, decay=decay,
+            rng=np.random.default_rng(rng_seed),
+        )
+
+    def build(self, **overrides) -> Pipeline:
+        """Resolve the preset to a :class:`Pipeline`.
+
+        Any pipeline option (``backend``, ``precision``, ``workers``,
+        ``batch``, ``n_points``, ``snr_db``, ``seed``, ...) may be
+        overridden — the point of the registry is that the *scenario*
+        stays fixed while the execution substrate swaps freely.
+        """
+        options = dict(
+            backend=self.backend, precision=self.precision,
+            scheme=self.scheme, channel=self.make_channel(),
+            snr_db=self.snr_db, source_scale=self.source_scale,
+            seed=self.seed, name=self.name,
+        )
+        n_points = overrides.pop("n_points", self.n_points)
+        stages = overrides.pop("stages", list(self.stages))
+        options.update(overrides)
+        return Pipeline(n_points, stages, **options)
+
+
+_REGISTRY: dict = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> None:
+    """Register ``spec`` under ``spec.name`` (loud on duplicates)."""
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(
+            f"expected a ScenarioSpec, got {type(spec).__name__}"
+        )
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario (primarily for tests registering throwaways)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by name; raises with the registered menu."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise UnknownNameError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(scenario_names())}"
+        )
+    return spec
+
+
+def scenario_names() -> list:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def scenario_specs() -> dict:
+    """Snapshot of the registry (name -> :class:`ScenarioSpec`)."""
+    return dict(_REGISTRY)
+
+
+def build_scenario(name: str, **overrides) -> Pipeline:
+    """Build the named scenario's pipeline (see :meth:`ScenarioSpec.build`)."""
+    return get_scenario(name).build(**overrides)
+
+
+def run_scenario(name: str, symbols: int = None, seed: int = None,
+                 **overrides):
+    """Run one burst of the named scenario; returns a PipelineResult.
+
+    ``symbols`` defaults to the preset's burst size; other keywords
+    override pipeline options (``backend=``, ``precision=``,
+    ``workers=``, ``n_points=``, ...).
+    """
+    spec = get_scenario(name)
+    with spec.build(**overrides) as pipe:
+        return pipe.run(
+            symbols=spec.symbols if symbols is None else symbols,
+            seed=seed,
+        )
+
+
+_BUILTIN_SCENARIOS = (
+    ScenarioSpec(
+        name="uwb-ofdm",
+        description="802.15.3a MB-UWB: 1024-carrier QPSK over AWGN "
+                    "(the paper's motivating workload)",
+        n_points=1024,
+        scheme="qpsk",
+        snr_db=20.0,
+        symbols=8,
+    ),
+    ScenarioSpec(
+        name="wimax-ofdm",
+        description="802.16 WiMAX: 256-carrier 16-QAM over AWGN "
+                    "(the 2.5 MHz point of the scaling family)",
+        n_points=256,
+        scheme="16qam",
+        snr_db=28.0,
+        symbols=16,
+    ),
+    ScenarioSpec(
+        name="multipath-eq",
+        description="128-carrier 16-QAM through a 3-tap Rayleigh "
+                    "channel with one-tap equalisation",
+        n_points=128,
+        scheme="16qam",
+        snr_db=35.0,
+        channel_profile=(3, 0.4, 2),
+        symbols=8,
+    ),
+    ScenarioSpec(
+        name="spectral",
+        description="plain Q1.15 spectral analysis of a block stream "
+                    "(StreamingFFT's workload, overflow accounted)",
+        n_points=256,
+        stages=SPECTRUM_CHAIN,
+        scheme=None,
+        precision="q15",
+        source_scale=0.25,
+        symbols=32,
+    ),
+)
+
+for _spec in _BUILTIN_SCENARIOS:
+    register_scenario(_spec, replace=True)

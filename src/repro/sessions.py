@@ -1,0 +1,343 @@
+"""Streaming sessions: a queue-fed front-end over the engine facade.
+
+A deployed multi-standard receiver does not hand the FFT stage a
+finished ``(n_symbols, N)`` matrix — symbols arrive one at a time from a
+front-end and results are consumed downstream at their own pace.
+:class:`StreamSession` (built by :func:`repro.session`) is that
+front-end for any facade backend:
+
+* **Explicit lifecycle** — a session is *open* from construction,
+  accepts symbols through :meth:`~StreamSession.feed`, hands finished
+  chunks out through :meth:`~StreamSession.drain`, and is retired by
+  :meth:`~StreamSession.close` (idempotent; also a context manager).
+  :meth:`~StreamSession.flush` forces the pending partial chunk through
+  early.
+* **Chunked execution** — fed symbols are buffered into chunks of
+  ``batch`` symbols; each full chunk runs as one
+  :meth:`~repro.engines.Engine.transform_many` pass (for the
+  ``asip-batch`` backend that is one :meth:`FFTASIP.run_batch` program
+  pass) and is queued as one uniform
+  :class:`~repro.engines.TransformResult` — the same schema every other
+  facade call returns, per-chunk.
+* **Bounded buffering with backpressure** — at most ``capacity``
+  symbols may sit in the session (pending input plus undrained output).
+  A single-threaded producer that overruns gets an immediate
+  :class:`SessionBackpressure`; a threaded producer may pass
+  ``feed(..., wait=timeout)`` to block until a consumer's ``drain``
+  frees space.  Nothing is ever silently dropped.
+
+:meth:`Engine.stream <repro.engines.Engine.stream>` is a thin wrapper
+that feeds a whole iterable through one session and merges the chunk
+results; :class:`~repro.asip.streaming.StreamingFFT` and
+:func:`~repro.core.parallel.stream_sharded` ride on the same substrate.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+from .engines import Engine, TransformResult, concat_results
+from .engines import engine as build_engine
+
+__all__ = [
+    "SessionBackpressure",
+    "SessionClosed",
+    "StreamSession",
+    "session",
+]
+
+
+class SessionClosed(RuntimeError):
+    """Raised when feeding or flushing a closed session."""
+
+
+class SessionBackpressure(RuntimeError):
+    """Raised when a feed would exceed the session's bounded buffer.
+
+    The producer is ahead of the consumer: drain finished chunks (or
+    feed with ``wait=`` from a separate producer thread) and retry.
+    """
+
+
+class StreamSession:
+    """Queue-fed streaming execution on one facade :class:`Engine`.
+
+    Parameters
+    ----------
+    engine:
+        The facade engine executing the chunks.  The session does not
+        close it unless ``own_engine=True``.
+    batch:
+        Symbols per executed chunk (default: the engine's ``batch``,
+        else 64).
+    capacity:
+        Bound on buffered symbols — pending input plus undrained
+        output.  Defaults to ``8 * batch``; must be at least ``batch``.
+    verify:
+        Check every executed chunk against a batched ``np.fft.fft``
+        reference (same tolerance rules as :meth:`Engine.stream`).
+    own_engine:
+        Close the engine when the session closes.
+    """
+
+    DEFAULT_BATCH = 64
+
+    def __init__(self, engine: Engine, batch: int = None,
+                 capacity: int = None, verify: bool = False,
+                 own_engine: bool = False):
+        self.engine = engine
+        self.batch = max(int(batch or engine.batch or self.DEFAULT_BATCH), 1)
+        self.capacity = (
+            8 * self.batch if capacity is None
+            else max(int(capacity), self.batch)
+        )
+        self.verify = verify
+        self._own_engine = own_engine
+        self._pending: list = []          # input blocks awaiting execution
+        self._ready: deque = deque()      # finished TransformResults
+        self._ready_symbols = 0
+        self._in_flight = 0               # symbols of the executing chunk
+        self._symbols_fed = 0
+        self._symbols_done = 0
+        self._closed = False
+        # One condition guards all buffer state and signals both "room
+        # freed" (drain) and "results available / closed" (execute,
+        # close) to threaded producers and consumers.
+        self._cond = threading.Condition()
+
+    # Introspection -------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        """FFT size of the underlying engine."""
+        return self.engine.n_points
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def pending_symbols(self) -> int:
+        """Fed symbols not yet executed (always < ``batch`` after feed)."""
+        return len(self._pending)
+
+    @property
+    def ready_symbols(self) -> int:
+        """Executed symbols not yet drained."""
+        return self._ready_symbols
+
+    @property
+    def buffered_symbols(self) -> int:
+        """Total symbols held by the session (pending, executing, ready)."""
+        return len(self._pending) + self._in_flight + self._ready_symbols
+
+    @property
+    def symbols_fed(self) -> int:
+        """Total symbols accepted over the session's lifetime."""
+        return self._symbols_fed
+
+    @property
+    def symbols_done(self) -> int:
+        """Total symbols executed over the session's lifetime."""
+        return self._symbols_done
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"StreamSession(n_points={self.n_points}, "
+                f"backend={self.engine.backend!r}, batch={self.batch}, "
+                f"capacity={self.capacity}, {state}, "
+                f"pending={self.pending_symbols}, "
+                f"ready={self.ready_symbols})")
+
+    # Lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush the pending partial chunk and retire the session.
+
+        Finished results stay drainable after close; feeding is refused.
+        Producers blocked in ``feed(..., wait=)`` and consumers blocked
+        in ``results(wait=...)`` are woken promptly.  Idempotent.
+        """
+        if self._closed:
+            return
+        self.flush()
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._own_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # Producer side -------------------------------------------------------
+
+    def feed(self, blocks, wait: float = None) -> int:
+        """Queue one ``(N,)`` block or an iterable of them; returns count.
+
+        Each accepted block is copied (producers may reuse one buffer).
+        Whenever ``batch`` symbols are pending they execute immediately
+        as one chunk.  If accepting a block would push
+        :attr:`buffered_symbols` past ``capacity``, the session applies
+        backpressure: with ``wait=None`` it raises
+        :class:`SessionBackpressure` at once; with a ``wait`` timeout
+        (seconds) it blocks until a consumer drains space or the timeout
+        expires (then raises).
+        """
+        if self._closed:
+            raise SessionClosed(f"{self!r} is closed")
+        blocks = np.asarray(blocks, dtype=complex)
+        if blocks.ndim == 1:
+            blocks = blocks[None, :]
+        if blocks.ndim != 2 or blocks.shape[1] != self.n_points:
+            raise ValueError(
+                f"expected an (N,) block or (k, {self.n_points}) batch, "
+                f"got shape {blocks.shape}"
+            )
+        for block in blocks:
+            run_chunk = False
+            with self._cond:
+                self._wait_for_room(wait)
+                self._pending.append(np.array(block))
+                self._symbols_fed += 1
+                run_chunk = len(self._pending) >= self.batch
+            if run_chunk:
+                self._execute_chunk()
+        return len(blocks)
+
+    def _wait_for_room(self, wait: float) -> None:
+        # Caller holds self._cond.
+        if self.buffered_symbols < self.capacity:
+            return
+        if wait is None:
+            raise SessionBackpressure(
+                f"session buffer full ({self.buffered_symbols}/"
+                f"{self.capacity} symbols); drain() finished chunks or "
+                f"feed with wait="
+            )
+        ok = self._cond.wait_for(
+            lambda: self.buffered_symbols < self.capacity
+            or self._closed,
+            timeout=wait,
+        )
+        if self._closed:
+            raise SessionClosed(f"{self!r} closed while waiting to feed")
+        if not ok:
+            raise SessionBackpressure(
+                f"session buffer still full after waiting {wait} s "
+                f"({self.buffered_symbols}/{self.capacity} symbols)"
+            )
+
+    def flush(self) -> None:
+        """Execute the pending partial chunk now (no-op when empty)."""
+        if self._closed:
+            raise SessionClosed(f"{self!r} is closed")
+        self._execute_chunk()
+
+    def _execute_chunk(self) -> None:
+        with self._cond:
+            if not self._pending:
+                return
+            chunk = np.stack(self._pending)
+            self._pending.clear()
+            self._in_flight = len(chunk)
+            symbols_before = self._symbols_done
+        # The engine call runs outside the lock so consumers can drain
+        # earlier chunks while this one computes.
+        try:
+            result = self.engine.transform_many(chunk)
+            if self.verify:
+                self.engine._verify_chunk(
+                    chunk, result.spectrum, symbols_before
+                )
+        except BaseException:
+            with self._cond:
+                self._in_flight = 0
+                self._cond.notify_all()
+            raise
+        with self._cond:
+            self._in_flight = 0
+            self._ready.append(result)
+            self._ready_symbols += len(chunk)
+            self._symbols_done += len(chunk)
+            self._cond.notify_all()
+
+    # Consumer side -------------------------------------------------------
+
+    def drain(self, max_results: int = None) -> list:
+        """Pop finished chunks; returns a list of :class:`TransformResult`.
+
+        Results come out in execution order, one per chunk.  Draining
+        frees buffer space and wakes producers blocked in
+        ``feed(..., wait=...)``.  Allowed on a closed session (the tail
+        of the stream outlives ``close``).
+        """
+        out = []
+        with self._cond:
+            while self._ready and (max_results is None
+                                   or len(out) < max_results):
+                result = self._ready.popleft()
+                self._ready_symbols -= result.n_symbols
+                out.append(result)
+            if out:
+                self._cond.notify_all()
+        return out
+
+    def results(self, wait: float = None):
+        """Iterate over finished chunks, draining as they are popped.
+
+        With ``wait=None`` (the default) the generator yields whatever
+        is currently finished and returns — a non-blocking sweep for
+        single-threaded loops.  A threaded consumer passes ``wait``
+        (seconds): the generator then blocks up to ``wait`` for each
+        next chunk and stops only when the session is closed and empty,
+        or a wait times out::
+
+            for chunk in session.results(wait=5.0): ...
+        """
+        while True:
+            drained = self.drain()
+            for result in drained:
+                yield result
+            if drained:
+                continue
+            if self._closed:
+                return
+            if wait is None:
+                return
+            with self._cond:
+                ok = self._cond.wait_for(
+                    lambda: self._ready or self._closed, timeout=wait,
+                )
+            if not ok:
+                return
+
+    def merged(self) -> TransformResult:
+        """Drain everything and merge into one :class:`TransformResult`."""
+        results = self.drain()
+        return concat_results(results, engine=self.engine)
+
+
+def session(n_points: int, *, backend: str = "compiled",
+            precision: str = "float", workers: int = None,
+            batch: int = None, capacity: int = None,
+            verify: bool = False, **options) -> StreamSession:
+    """Open a :class:`StreamSession` on a fresh facade engine.
+
+    The facade twin of :func:`repro.engine` for streaming workloads:
+    same ``backend`` / ``precision`` / ``workers`` / ``batch``
+    parameters, plus the session's ``capacity`` bound and optional
+    per-chunk ``verify``.  The session owns the engine and closes it on
+    :meth:`StreamSession.close` / context-manager exit.
+    """
+    eng = build_engine(n_points, backend=backend, precision=precision,
+                       workers=workers, batch=batch, **options)
+    return StreamSession(eng, batch=batch, capacity=capacity,
+                         verify=verify, own_engine=True)

@@ -1,0 +1,273 @@
+"""Streaming sessions: lifecycle, chunking, backpressure, parity."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.asip.streaming import StreamingFFT
+from repro.core.parallel import stream_sharded
+from repro.sessions import SessionBackpressure, SessionClosed, StreamSession
+
+
+def _blocks(symbols, n, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return scale * (rng.standard_normal((symbols, n))
+                    + 1j * rng.standard_normal((symbols, n)))
+
+
+class TestLifecycle:
+    def test_feed_drain_flush_close(self):
+        with repro.session(16, batch=4) as sess:
+            assert not sess.closed
+            assert sess.feed(_blocks(10, 16)) == 10
+            # Two full chunks executed, two symbols still pending.
+            assert sess.pending_symbols == 2
+            results = sess.drain()
+            assert [r.n_symbols for r in results] == [4, 4]
+            sess.flush()
+            tail = sess.drain()
+            assert [r.n_symbols for r in tail] == [2]
+            assert sess.symbols_fed == sess.symbols_done == 10
+        assert sess.closed
+
+    def test_close_flushes_and_is_idempotent(self):
+        sess = repro.session(16, batch=8)
+        sess.feed(_blocks(3, 16))
+        sess.close()
+        sess.close()
+        results = sess.drain()  # the tail outlives close
+        assert [r.n_symbols for r in results] == [3]
+
+    def test_closed_session_refuses_feed(self):
+        sess = repro.session(16)
+        sess.close()
+        with pytest.raises(SessionClosed):
+            sess.feed(_blocks(1, 16))
+        with pytest.raises(SessionClosed):
+            sess.flush()
+
+    def test_bad_block_shape(self):
+        with repro.session(16) as sess:
+            with pytest.raises(ValueError, match="16"):
+                sess.feed(np.zeros((2, 8), dtype=complex))
+
+    def test_repr_shows_state(self):
+        with repro.session(16, batch=2) as sess:
+            sess.feed(_blocks(1, 16))
+            text = repr(sess)
+        assert "open" in text and "pending=1" in text
+
+    def test_results_iterator(self):
+        with repro.session(16, batch=2) as sess:
+            sess.feed(_blocks(5, 16))
+            sess.flush()
+            chunks = list(sess.results())
+        assert [c.n_symbols for c in chunks] == [2, 2, 1]
+
+
+class TestChunkSchema:
+    def test_chunks_carry_uniform_results(self):
+        with repro.session(16, backend="asip-batch", batch=3) as sess:
+            sess.feed(_blocks(6, 16))
+            results = sess.drain()
+        for result in results:
+            assert isinstance(result, repro.TransformResult)
+            assert result.backend == "asip-batch"
+            assert result.n_points == 16
+            assert len(result.cycles) == 3
+            assert result.stats.cycles == result.total_cycles
+
+    def test_merged_equals_batch_call(self):
+        blocks = _blocks(7, 16, seed=3)
+        with repro.session(16, batch=2) as sess:
+            sess.feed(blocks)
+            sess.flush()
+            merged = sess.merged()
+        with repro.engine(16) as eng:
+            reference = eng.transform_many(blocks)
+        assert np.array_equal(merged.spectrum, reference.spectrum)
+        assert merged.n_symbols == 7
+
+    def test_verify_catches_wrong_chunks(self):
+        class Liar:
+            fx = None
+            sim_stats = None
+            machine = None
+
+            def transform_many(self, blocks):
+                return np.zeros_like(blocks), [0] * len(blocks)
+
+            def close(self):
+                pass
+
+        from repro.core.registry import get_backend
+        from repro.engines import Engine
+
+        eng = Engine(get_backend("compiled"), Liar(), 16, "float")
+        sess = StreamSession(eng, batch=2, verify=True)
+        with pytest.raises(AssertionError, match="symbol 1 is wrong"):
+            sess.feed(_blocks(2, 16))
+
+    def test_q15_overflow_accounting_matches_batch(self):
+        blocks = _blocks(6, 32, seed=1, scale=0.6)
+        with repro.session(32, precision="q15", batch=2) as sess:
+            sess.feed(blocks)
+            sess.flush()
+            merged = sess.merged()
+        with repro.engine(32, precision="q15") as eng:
+            reference = eng.transform_many(blocks)
+        assert np.array_equal(merged.spectrum, reference.spectrum)
+        assert merged.overflow_count == reference.overflow_count
+
+
+class TestBackpressure:
+    def test_overrun_raises(self):
+        sess = repro.session(16, batch=2, capacity=4)
+        sess.feed(_blocks(4, 16))  # 2 executed + drainable, 2... full
+        with pytest.raises(SessionBackpressure, match="drain"):
+            sess.feed(_blocks(4, 16))
+        sess.drain()
+        sess.feed(_blocks(2, 16))  # room again after draining
+        sess.close()
+
+    def test_wait_times_out(self):
+        sess = repro.session(16, batch=2, capacity=2)
+        sess.feed(_blocks(2, 16))
+        with pytest.raises(SessionBackpressure, match="after waiting"):
+            sess.feed(_blocks(1, 16), wait=0.05)
+        sess.close()
+
+    def test_threaded_producer_unblocked_by_consumer(self):
+        sess = repro.session(16, batch=2, capacity=2)
+        fed = []
+
+        def produce():
+            for k in range(6):
+                sess.feed(_blocks(1, 16, seed=k), wait=5.0)
+                fed.append(k)
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        drained = 0
+        try:
+            while drained < 3:
+                drained += len(sess.drain())
+            producer.join(timeout=5.0)
+            assert not producer.is_alive()
+            assert fed == list(range(6))
+        finally:
+            producer.join(timeout=1.0)
+            sess.close()
+
+    def test_capacity_floor_is_batch(self):
+        sess = repro.session(16, batch=8, capacity=1)
+        assert sess.capacity == 8
+        sess.close()
+
+    def test_close_wakes_blocked_producer_promptly(self):
+        import time
+
+        sess = repro.session(16, batch=2, capacity=2)
+        sess.feed(_blocks(2, 16))  # buffer now full
+        raised = []
+
+        def produce():
+            try:
+                sess.feed(_blocks(1, 16), wait=30.0)
+            except SessionClosed:
+                raised.append(time.perf_counter())
+
+        producer = threading.Thread(target=produce)
+        started = time.perf_counter()
+        producer.start()
+        time.sleep(0.05)
+        sess.close()
+        producer.join(timeout=5.0)
+        assert not producer.is_alive()
+        # Woken by close's notify, not by the 30 s timeout expiring.
+        assert raised and raised[0] - started < 5.0
+
+    def test_results_wait_streams_across_threads(self):
+        sess = repro.session(16, batch=2, capacity=4)
+
+        def produce():
+            for k in range(6):
+                sess.feed(_blocks(1, 16, seed=k), wait=5.0)
+            sess.close()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        try:
+            chunks = list(sess.results(wait=5.0))
+        finally:
+            producer.join(timeout=5.0)
+        assert sum(c.n_symbols for c in chunks) == 6
+
+
+class TestStreamingParity:
+    def test_session_matches_streaming_fft_cycles(self):
+        blocks = _blocks(6, 32, seed=2)
+        stats = StreamingFFT(32).process(blocks, batch=2)
+        with repro.session(32, backend="asip-batch", batch=2) as sess:
+            sess.feed(blocks)
+            sess.flush()
+            merged = sess.merged()
+        assert merged.cycles == stats.per_symbol_cycles
+        assert merged.total_cycles == stats.total_cycles
+        assert stats.is_deterministic
+
+    def test_engine_stream_rides_on_sessions(self):
+        blocks = _blocks(5, 16, seed=4)
+        with repro.engine(16, backend="asip-batch") as eng:
+            streamed = eng.stream(blocks, batch=2, verify=True)
+        with repro.engine(16, backend="asip-batch") as eng:
+            batched = eng.transform_many(blocks)
+        assert np.array_equal(streamed.spectrum, batched.spectrum)
+        assert streamed.cycles == batched.cycles
+
+    def test_empty_stream_yields_empty_result(self):
+        with repro.engine(16) as eng:
+            result = eng.stream([])
+        assert result.spectrum.shape == (0, 16)
+        assert result.n_symbols == 0
+
+
+class TestShardedStreamMerge:
+    def test_stream_sharded_returns_merged_transform_result(self):
+        blocks = _blocks(8, 16, seed=5)
+        merged = stream_sharded(16, blocks, workers=2, as_result=True)
+        assert isinstance(merged, repro.TransformResult)
+        assert merged.n_symbols == 8
+        local = StreamingFFT(16).process(blocks)
+        assert merged.total_cycles == local.total_cycles
+        assert list(merged.cycles) == local.per_symbol_cycles
+
+    def test_stream_sharded_stats_compatible(self):
+        blocks = _blocks(6, 16, seed=6)
+        stats = stream_sharded(16, blocks, workers=2)
+        assert stats.symbols == 6
+        assert stats.is_deterministic
+        serial = StreamingFFT(16).process(blocks)
+        assert stats.total_cycles == serial.total_cycles
+
+    def test_short_stream_falls_back_locally(self):
+        blocks = _blocks(2, 16, seed=7)
+        stats = stream_sharded(16, blocks, workers=4)
+        assert stats.symbols == 2
+
+    def test_concat_results_validates_sizes(self):
+        with repro.engine(16) as eng:
+            a = eng.transform_many(_blocks(2, 16))
+        with repro.engine(32) as eng:
+            b = eng.transform_many(_blocks(2, 32))
+        with pytest.raises(ValueError, match="different sizes"):
+            repro.concat_results([a, b])
+
+    def test_concat_empty_needs_identity(self):
+        with pytest.raises(ValueError, match="n_points"):
+            repro.concat_results([])
+        empty = repro.concat_results([], n_points=16, backend="compiled",
+                                     precision="float")
+        assert empty.spectrum.shape == (0, 16)
