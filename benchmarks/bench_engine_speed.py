@@ -21,7 +21,11 @@ silently:
   eat the batching win;
 * sharded 512-symbol ``transform_many`` — 2-worker process pool vs the
   serial batch engine (bit-identical), floor **1.5x**, asserted only
-  when the host actually exposes >= 2 CPUs (recorded regardless).
+  when the host actually exposes >= 2 CPUs (recorded regardless);
+* vectorised Viterbi decode — the numpy add-compare-select trellis vs
+  the per-step reference oracle (bit-identical) on 64-state, 1k-bit
+  blocks, floor **5x** (same floor in quick mode — the reference is
+  pure Python, so the margin is wide).
 
 Each run also executes every registered **scenario preset** through the
 pipeline API (``repro.run_scenario``) and records the per-scenario rows
@@ -61,6 +65,7 @@ FLOORS = {
     "stream": 2.0,
     "session": 2.0,
     "sharded": 1.5,
+    "viterbi": 5.0,
 }
 
 # Quick mode uses small sizes where constant overheads weigh more, so the
@@ -73,6 +78,9 @@ QUICK_FLOORS = {
     "fixed_asip": 1.5,
     "stream": 1.3,
     "session": 1.3,
+    # The Viterbi reference is a pure-Python 64-state walk, so the 5x
+    # contract holds at the same 1k-bit block size even in quick mode.
+    "viterbi": 5.0,
 }
 
 SWEEP_SIZES = [256, 512, 1024, 2048]
@@ -217,6 +225,32 @@ def _time_session(n, symbols, reps=2):
     return t_ref, t_fast
 
 
+def _time_viterbi(info_bits=1000, reps=2):
+    """Vectorised Viterbi trellis vs the per-step reference oracle.
+
+    One 64-state (K=7, rate-1/2) block of ``info_bits`` payload bits
+    through a noisy soft-decision channel; the two datapaths must stay
+    bit-identical, and the vectorised add-compare-select must hold the
+    throughput floor.
+    """
+    from repro.coding import get_code
+
+    rng = np.random.default_rng(1009)
+    code = get_code("conv-k7").punctured("1/2")
+    info = rng.integers(0, 2, size=info_bits)
+    coded = code.encode(info)
+    llrs = (1.0 - 2.0 * coded) + 0.6 * rng.standard_normal(coded.shape)
+
+    fast = code.decode(llrs)
+    ref = code.decode(llrs, reference=True)
+    assert np.array_equal(fast, ref)
+    assert np.array_equal(fast, info)  # 0.6-sigma noise decodes clean
+
+    t_fast = _best_of(lambda: code.decode(llrs), reps)
+    t_ref = _best_of(lambda: code.decode(llrs, reference=True), reps)
+    return t_ref, t_fast
+
+
 def _scenario_rows(quick=False):
     """Every registered scenario preset through the pipeline API."""
     from repro.analysis import scenario_sweep
@@ -313,6 +347,14 @@ def collect_measurements(quick=False):
         "batched_ms": fast_q * 1e3,
         "speedup": ref_q / fast_q,
     }
+    ref_v, fast_v = _time_viterbi()
+    results["viterbi"] = {
+        "info_bits": 1000,
+        "states": 64,
+        "reference_ms": ref_v * 1e3,
+        "vectorized_ms": fast_v * 1e3,
+        "speedup": ref_v / fast_v,
+    }
     results["scenarios"] = _scenario_rows(quick)
     if not quick:
         ref_p, fast_p = _time_sharded(1024, 512, workers=2)
@@ -407,6 +449,14 @@ def test_session_speedup_floor(measurements):
     assert row["speedup"] >= FLOORS["session"]
 
 
+def test_viterbi_speedup_floor(measurements):
+    row = measurements["viterbi"]
+    print(f"\nviterbi {row['states']}-state {row['info_bits']}b: "
+          f"{row['reference_ms']:.1f} ms -> {row['vectorized_ms']:.1f} ms "
+          f"({row['speedup']:.1f}x)")
+    assert row["speedup"] >= FLOORS["viterbi"]
+
+
 def test_scenario_rows_cover_registry(measurements):
     from repro.scenarios import scenario_names
 
@@ -465,6 +515,7 @@ def run_quick() -> int:
         ("fixed_asip", results["fixed_asip"]["speedup"]),
         ("stream", results["stream"]["speedup"]),
         ("session", results["session"]["speedup"]),
+        ("viterbi", results["viterbi"]["speedup"]),
     ]
     failed = False
     for name, speedup in checks:

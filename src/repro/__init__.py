@@ -32,6 +32,9 @@ call sites.
 Public API layers underneath the facade:
 
 * :mod:`repro.core`       — the array-structured FFT (the contribution);
+* :mod:`repro.coding`     — the channel-coding layer (convolutional
+  codec, interleavers, soft demappers, Viterbi) behind the coded
+  scenario presets;
 * :mod:`repro.addressing` — the address-changing and coefficient rules;
 * :mod:`repro.fft`        — reference FFTs and the cached-FFT skeleton;
 * :mod:`repro.isa`        — the PISA-like ISA with BUT4/LDIN/STOUT;
@@ -69,7 +72,7 @@ from .scenarios import (
 )
 from .sessions import StreamSession, session
 
-__version__ = "3.0.0"
+__version__ = "3.1.0"
 
 __all__ = [
     "engine",

@@ -3,6 +3,7 @@
 from .sweep import (
     PAPER_TABLE1,
     ber_sweep,
+    coded_ber_sweep,
     scenario_sweep,
     size_sweep,
     table1_rows,
@@ -15,6 +16,7 @@ __all__ = [
     "format_ratio",
     "size_sweep",
     "ber_sweep",
+    "coded_ber_sweep",
     "scenario_sweep",
     "table1_rows",
     "PAPER_TABLE1",

@@ -15,7 +15,7 @@ from ..asip.throughput import paper_mbps, throughput_report
 from ..engines import engine as build_engine
 
 __all__ = ["size_sweep", "PAPER_TABLE1", "table1_rows", "ber_sweep",
-           "scenario_sweep"]
+           "coded_ber_sweep", "scenario_sweep"]
 
 #: the paper's Table I: size -> (cycles, Mbps)
 PAPER_TABLE1 = {
@@ -114,6 +114,81 @@ def ber_sweep(n_points: int = None, snr_dbs=None, symbols: int = 10,
         return link.measure_ber_sweep(snr_dbs, symbols=symbols)
 
 
+def coded_ber_sweep(snr_dbs, scenario: str = None, n_points: int = None,
+                    symbols: int = 10, scheme: str = None,
+                    code=None, code_rate: str = None,
+                    interleaver=None, channel=None, seed: int = None,
+                    backend: str = None, workers: int = None) -> dict:
+    """Coded vs uncoded BER (and FER) at each SNR point.
+
+    Builds the coded OFDM chain (``CODED_OFDM_CHAIN``) **once** through
+    the pipeline API and reruns it per SNR point (the engine and
+    compiled plan are reused; only the noise draw changes), reporting
+    both ends of the coding gain.  ``scenario=`` names a registered
+    **coded** preset supplying the workload *and* codec configuration —
+    passing ``scheme``/``code``/``code_rate``/``interleaver``/
+    ``channel`` alongside it is a loud conflict, not a silent ignore.
+    Without a scenario, pass ``n_points`` (``scheme`` defaults to
+    ``"qpsk"``, ``code`` to ``"conv-k7"`` at rate 1/2).  Returns
+    ``{snr_db: {"coded_ber", "uncoded_ber", "fer"}}`` in the order
+    given.
+    """
+    from ..pipelines import CODED_OFDM_CHAIN, Pipeline
+    from ..scenarios import get_scenario
+
+    snr_dbs = [float(s) for s in snr_dbs]
+    if not snr_dbs:
+        raise ValueError("coded_ber_sweep needs snr_dbs")
+    if scenario is not None:
+        conflicts = [name for name, value in (
+            ("scheme", scheme), ("code", code), ("code_rate", code_rate),
+            ("interleaver", interleaver), ("channel", channel),
+        ) if value is not None]
+        if conflicts:
+            raise ValueError(
+                f"scenario={scenario!r} already fixes the codec "
+                f"configuration; drop {', '.join(conflicts)} or sweep "
+                f"without scenario="
+            )
+        spec = get_scenario(scenario)
+        if spec.code is None:
+            raise ValueError(
+                f"scenario {scenario!r} is uncoded; coded_ber_sweep "
+                f"needs a coded preset or explicit code= parameters"
+            )
+        overrides = {}
+        if n_points is not None:
+            overrides["n_points"] = n_points
+        if backend is not None:
+            overrides["backend"] = backend
+        if workers is not None:
+            overrides["workers"] = workers
+        pipe = spec.build(**overrides)
+    elif n_points is None:
+        raise ValueError("coded_ber_sweep needs n_points or scenario=")
+    else:
+        pipe = Pipeline(
+            n_points, CODED_OFDM_CHAIN,
+            scheme=scheme if scheme is not None else "qpsk",
+            code=code if code is not None else "conv-k7",
+            code_rate=code_rate if code_rate is not None else "1/2",
+            interleaver=interleaver, channel=channel, backend=backend,
+            workers=workers,
+        )
+
+    sweep = {}
+    with pipe:
+        for snr in snr_dbs:
+            metrics = pipe.run(symbols=symbols, seed=seed,
+                               snr_db=snr).metrics
+            sweep[snr] = {
+                "coded_ber": metrics["coded_ber"],
+                "uncoded_ber": metrics["uncoded_ber"],
+                "fer": metrics["fer"],
+            }
+    return sweep
+
+
 def scenario_sweep(names=None, symbols: int = None, backend: str = None,
                    precision: str = None, workers: int = None,
                    seed: int = None, n_points: int = None) -> list:
@@ -164,7 +239,8 @@ def scenario_sweep(names=None, symbols: int = None, backend: str = None,
             "symbols_per_s": count / elapsed if elapsed else 0.0,
         }
         for key in ("ber", "evm_percent", "cycles_per_symbol",
-                    "overflow_count"):
+                    "overflow_count", "coded_ber", "uncoded_ber", "fer",
+                    "code", "code_rate", "stage_seconds"):
             if key in result.metrics:
                 row[key] = result.metrics[key]
         rows.append(row)

@@ -442,10 +442,25 @@ def _cmd_run(args) -> str:
             f"symbols = {row['symbols']}   wall = {row['wall_ms']:.1f} ms "
             f"({row['symbols_per_s']:.0f} symbols/s)",
         ]
-        if "ber" in row:
+        if "coded_ber" in row:
+            lines.append(
+                f"coded BER = {row['coded_ber']:.5f}   "
+                f"uncoded BER = {row['uncoded_ber']:.5f}   "
+                f"FER = {row['fer']:.3f}   ({row['code']})"
+            )
+            if "evm_percent" in row:
+                lines.append(f"EVM = {row['evm_percent']:.2f} %")
+        elif "ber" in row:
             lines.append(f"BER = {row['ber']:.5f}"
                          + (f"   EVM = {row['evm_percent']:.2f} %"
                             if "evm_percent" in row else ""))
+        if "stage_seconds" in row:
+            slowest = sorted(row["stage_seconds"].items(),
+                             key=lambda kv: kv[1], reverse=True)[:3]
+            lines.append("slowest stages: " + "  ".join(
+                f"{name} {seconds * 1e3:.1f} ms"
+                for name, seconds in slowest
+            ))
         if row.get("cycles_per_symbol"):
             lines.append(
                 f"FFT cycles/symbol = {row['cycles_per_symbol']:.0f}"

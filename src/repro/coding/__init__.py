@@ -1,0 +1,89 @@
+"""Channel coding: the codec layer in front of the OFDM substrate.
+
+Real receivers built around the paper's FFT processor (UWB, WiMAX,
+DVB-T) never run uncoded — a convolutional codec, bit interleaving and
+soft-decision demapping sit between the payload and the subcarriers.
+This package is that layer, structured like :mod:`repro.core`: every
+datapath keeps a readable reference oracle and a vectorised fast path
+gated to be bit-identical to it.
+
+* :mod:`~repro.coding.convolutional` — the K=7 (133, 171) code (and a
+  K=3 test code), standard puncturing to rates 1/2, 2/3, 3/4, and the
+  terminated block geometry that fills an OFDM symbol's coded capacity;
+* :mod:`~repro.coding.interleave` — block/identity bit interleavers as
+  fixed per-symbol permutations;
+* :mod:`~repro.coding.demap` — max-log per-bit LLR demappers for
+  BPSK/QPSK/16-QAM (positive LLR = bit 0);
+* :mod:`~repro.coding.viterbi` — the Viterbi decoder: per-step oracle
+  plus the vectorised add-compare-select trellis (column ops over all
+  64 states, batched over symbols);
+* :mod:`~repro.coding.stages` — the registered pipeline stages
+  (``encode``, ``interleave``, ``soft-demodulate``, ``deinterleave``,
+  ``decode``, ``coded-metrics``) making coded links pure configuration.
+
+Codes, interleavers and demappers each resolve through an open registry
+raising :class:`~repro.core.registry.UnknownNameError` with the
+registered menu, like every other registry in the package.
+"""
+
+from .convolutional import (
+    PUNCTURE_PATTERNS,
+    BlockGeometry,
+    ConvolutionalCode,
+    PuncturedCode,
+    code_names,
+    code_specs,
+    get_code,
+    register_code,
+    resolve_code,
+    unregister_code,
+)
+from .demap import (
+    SoftDemapper,
+    demapper_names,
+    demapper_specs,
+    get_demapper,
+    register_demapper,
+    unregister_demapper,
+)
+from .interleave import (
+    BlockInterleaver,
+    IdentityInterleaver,
+    build_interleaver,
+    get_interleaver,
+    interleaver_names,
+    interleaver_specs,
+    register_interleaver,
+    resolve_interleaver,
+    unregister_interleaver,
+)
+from .viterbi import ViterbiDecoder
+
+__all__ = [
+    "PUNCTURE_PATTERNS",
+    "BlockGeometry",
+    "ConvolutionalCode",
+    "PuncturedCode",
+    "ViterbiDecoder",
+    "SoftDemapper",
+    "BlockInterleaver",
+    "IdentityInterleaver",
+    "register_code",
+    "unregister_code",
+    "get_code",
+    "code_names",
+    "code_specs",
+    "resolve_code",
+    "register_interleaver",
+    "unregister_interleaver",
+    "get_interleaver",
+    "interleaver_names",
+    "interleaver_specs",
+    "build_interleaver",
+    "resolve_interleaver",
+    "register_demapper",
+    "unregister_demapper",
+    "get_demapper",
+    "demapper_names",
+    "demapper_specs",
+]

@@ -1,0 +1,217 @@
+"""Coded pipeline stages: the channel-coding chain as components.
+
+Registers the six stages that turn the canonical OFDM receive chain
+into a coded link (``repro.pipelines.CODED_OFDM_CHAIN``)::
+
+    source -> encode -> interleave -> modulate -> ifft -> channel ->
+    transform -> equalize -> soft-demodulate -> deinterleave ->
+    decode -> coded-metrics
+
+Each OFDM symbol carries one terminated code block: the ``source``
+stage draws ``BlockGeometry.info_bits`` payload bits per symbol,
+``encode`` expands every row to the symbol's coded capacity
+(termination tail, puncturing, zero pad — all vectorised over the
+burst), and ``decode`` runs the whole burst through the vectorised
+Viterbi trellis in one batched pass (``DecodeStage(reference=True)``
+swaps in the per-step oracle).  ``coded-metrics`` extends the plain
+metrics stage with coded/uncoded BER and per-block FER, so one result
+carries both ends of the coding gain.
+
+Stage contract, context fields and registration mirror
+:mod:`repro.pipelines.stages`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pipelines.registry import StageSpec, register_stage
+from ..pipelines.stages import MetricsStage, PipelineContext, Stage
+from .demap import get_demapper
+
+__all__ = [
+    "EncodeStage",
+    "InterleaveStage",
+    "SoftDemodulateStage",
+    "DeinterleaveStage",
+    "DecodeStage",
+    "CodedMetricsStage",
+]
+
+
+def _require_code(ctx: PipelineContext, stage: str):
+    if ctx.code is None or ctx.code_geometry is None:
+        raise ValueError(
+            f"the {stage!r} stage needs a coded pipeline "
+            f"(pass code= / code_rate= to repro.pipeline, or use a "
+            f"coded scenario preset)"
+        )
+    return ctx.code
+
+
+class EncodeStage(Stage):
+    """Terminated convolutional encode of each symbol's payload row.
+
+    ``(symbols, info_bits)`` in, ``(symbols, coded capacity)`` out:
+    termination tail, puncturing and zero pad applied to the whole
+    burst in one vectorised pass.
+    """
+
+    def run(self, ctx: PipelineContext, data):
+        code = _require_code(ctx, "encode")
+        bits = np.asarray(data, dtype=np.uint8)
+        if ctx.tx_info_bits is None:
+            ctx.tx_info_bits = bits
+        coded = code.encode(bits, capacity=ctx.bits_per_symbol)
+        ctx.coded_bits = coded
+        return coded
+
+
+class InterleaveStage(Stage):
+    """Permute each coded symbol payload into air order."""
+
+    def run(self, ctx: PipelineContext, data):
+        _require_code(ctx, "interleave")
+        air = ctx.interleaver.interleave(np.asarray(data))
+        ctx.tx_bits = air
+        return air
+
+
+class SoftDemodulateStage(Stage):
+    """Max-log LLR demap of equalised subcarriers (air bit order).
+
+    The demapper resolves from the chain's constellation scheme through
+    the demapper registry unless the pipeline installed an override on
+    the context; an unregistered scheme raises ``UnknownNameError``
+    with the menu.
+    """
+
+    def __init__(self, noise_var: float = None):
+        self.noise_var = noise_var
+
+    def run(self, ctx: PipelineContext, data):
+        demapper = ctx.demapper or get_demapper(ctx.constellation.name)
+        return demapper.llrs(np.asarray(data, dtype=complex),
+                             noise_var=self.noise_var)
+
+
+class DeinterleaveStage(Stage):
+    """Invert the air permutation on the LLR matrix."""
+
+    def run(self, ctx: PipelineContext, data):
+        _require_code(ctx, "deinterleave")
+        llrs = ctx.interleaver.deinterleave(np.asarray(data))
+        ctx.llrs = llrs
+        return llrs
+
+
+class DecodeStage(Stage):
+    """Viterbi-decode every symbol's code block in one batched pass.
+
+    ``reference=True`` routes through the per-step oracle decoder (the
+    readable specification) instead of the vectorised trellis — the two
+    are bit-identical, so swapping is purely a speed choice.
+    """
+
+    def __init__(self, reference: bool = False):
+        self.reference = reference
+
+    def run(self, ctx: PipelineContext, data):
+        code = _require_code(ctx, "decode")
+        geometry = ctx.code_geometry
+        llrs = np.asarray(data, dtype=np.float64)
+        info = code.decode(llrs[..., :geometry.coded_bits],
+                           reference=self.reference)
+        info = np.asarray(info, dtype=np.uint8)
+        ctx.rx_info_bits = info
+        return info
+
+
+class CodedMetricsStage(MetricsStage):
+    """Plain metrics plus the coded link's quality figures.
+
+    Adds to the base stage's EVM/cycle/overflow accounting:
+
+    * ``coded_ber`` (also mirrored into ``ber`` — the link's payload
+      error rate) with ``bit_errors`` / ``total_bits`` over info bits;
+    * ``uncoded_ber`` — hard decisions straight off the LLR signs
+      against the transmitted coded bits, i.e. the raw channel the
+      decoder had to clean up;
+    * ``fer`` / ``frame_errors`` — per code block (one per OFDM
+      symbol);
+    * the code geometry (``code``, ``code_rate``, ``info_bits_per_
+      symbol``, ``coded_bits_per_symbol``, ``pad_bits``).
+    """
+
+    def run(self, ctx: PipelineContext, data):
+        data = super().run(ctx, data)
+        metrics = ctx.metrics
+        code = ctx.code
+        if code is not None:
+            geometry = ctx.code_geometry
+            metrics["code"] = code.name
+            metrics["code_rate"] = code.rate
+            metrics["info_bits_per_symbol"] = geometry.info_bits
+            metrics["coded_bits_per_symbol"] = geometry.coded_bits
+            metrics["pad_bits"] = geometry.pad_bits
+        if ctx.tx_info_bits is not None and ctx.rx_info_bits is not None:
+            wrong = ctx.tx_info_bits != ctx.rx_info_bits
+            errors = int(np.sum(wrong))
+            total = int(ctx.tx_info_bits.size)
+            metrics["bit_errors"] = errors
+            metrics["total_bits"] = total
+            metrics["coded_ber"] = errors / total if total else 0.0
+            metrics["ber"] = metrics["coded_ber"]
+            frames = int(np.sum(np.any(wrong, axis=-1)))
+            metrics["frame_errors"] = frames
+            metrics["fer"] = (
+                frames / len(wrong) if len(wrong) else 0.0
+            )
+        if ctx.llrs is not None and ctx.coded_bits is not None:
+            hard = (np.asarray(ctx.llrs) < 0).astype(np.uint8)
+            raw = int(np.sum(hard != ctx.coded_bits))
+            metrics["uncoded_bit_errors"] = raw
+            metrics["uncoded_ber"] = (
+                raw / ctx.coded_bits.size if ctx.coded_bits.size else 0.0
+            )
+        return data
+
+
+def _register_builtin_stages() -> None:
+    specs = [
+        StageSpec(
+            name="encode", factory=EncodeStage,
+            consumes="bits", produces="bits",
+            description="terminated convolutional encode + puncture + pad",
+        ),
+        StageSpec(
+            name="interleave", factory=InterleaveStage,
+            consumes="bits", produces="bits",
+            description="per-symbol bit interleaving into air order",
+        ),
+        StageSpec(
+            name="soft-demodulate", factory=SoftDemodulateStage,
+            consumes="spectrum", produces="llrs",
+            description="max-log per-bit LLR demapping",
+        ),
+        StageSpec(
+            name="deinterleave", factory=DeinterleaveStage,
+            consumes="llrs", produces="llrs",
+            description="invert the air permutation on LLRs",
+        ),
+        StageSpec(
+            name="decode", factory=DecodeStage,
+            consumes="llrs", produces="bits",
+            description="batched vectorised Viterbi decode",
+        ),
+        StageSpec(
+            name="coded-metrics", factory=CodedMetricsStage,
+            consumes="any", produces="same",
+            description="coded/uncoded BER + FER + base metrics",
+        ),
+    ]
+    for spec in specs:
+        register_stage(spec, replace=True)
+
+
+_register_builtin_stages()

@@ -1,6 +1,7 @@
 """OFDM substrate: the communication chain the paper's intro motivates."""
 
 from .channel import MultipathChannel, awgn, ebn0_to_noise_sigma
+from .coded import CodedLinkResult, CodedOfdmLink
 from .link import LinkResult, OfdmLink
 from .modulation import CONSTELLATIONS, Constellation, demodulate, modulate
 
@@ -14,4 +15,6 @@ __all__ = [
     "MultipathChannel",
     "OfdmLink",
     "LinkResult",
+    "CodedOfdmLink",
+    "CodedLinkResult",
 ]

@@ -8,6 +8,7 @@
 """
 
 from .graph import (
+    CODED_OFDM_CHAIN,
     DEFAULT_OFDM_CHAIN,
     SPECTRUM_CHAIN,
     Pipeline,
@@ -42,4 +43,5 @@ __all__ = [
     "stage_specs",
     "DEFAULT_OFDM_CHAIN",
     "SPECTRUM_CHAIN",
+    "CODED_OFDM_CHAIN",
 ]

@@ -25,10 +25,12 @@ call sites.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..coding import get_demapper, resolve_code, resolve_interleaver
 from ..core.registry import get_backend
 from ..engines import TransformResult
 from ..engines import engine as build_engine
@@ -39,6 +41,7 @@ from .stages import PipelineContext
 __all__ = [
     "DEFAULT_OFDM_CHAIN",
     "SPECTRUM_CHAIN",
+    "CODED_OFDM_CHAIN",
     "PipelineGraphError",
     "PipelineResult",
     "Pipeline",
@@ -53,6 +56,14 @@ DEFAULT_OFDM_CHAIN = (
 
 #: plain spectral analysis: blocks in, verified spectra out
 SPECTRUM_CHAIN = ("block-source", "transform", "metrics")
+
+#: the coded receive chain: one terminated convolutional code block per
+#: OFDM symbol, soft-decision demapping, batched Viterbi decode
+CODED_OFDM_CHAIN = (
+    "source", "encode", "interleave", "modulate", "ifft", "channel",
+    "transform", "equalize", "soft-demodulate", "deinterleave",
+    "decode", "coded-metrics",
+)
 
 
 class PipelineGraphError(ValueError):
@@ -162,6 +173,7 @@ class Pipeline:
                  precision: str = "float", workers: int = None,
                  batch: int = None, scheme: str = "qpsk", channel=None,
                  snr_db: float = None, source_scale: float = 1.0,
+                 code=None, code_rate: str = "1/2", interleaver=None,
                  seed: int = 0, name: str = None, **engine_options):
         if scheme is not None and scheme not in CONSTELLATIONS:
             raise ValueError(
@@ -174,9 +186,33 @@ class Pipeline:
         self._config = dict(
             n_points=n_points, backend=backend, precision=precision,
             workers=workers, batch=batch, scheme=scheme, channel=channel,
-            snr_db=snr_db, source_scale=source_scale, seed=seed,
+            snr_db=snr_db, source_scale=source_scale, code=code,
+            code_rate=code_rate, interleaver=interleaver, seed=seed,
             name=name, **engine_options,
         )
+        # Resolve the coding configuration up front — unknown code /
+        # rate / interleaver / demapper names fail at build time with
+        # the registered menu, and the per-symbol block geometry is
+        # fixed by (n_points, scheme) for the pipeline's lifetime.
+        self._code = resolve_code(code, code_rate)
+        self._interleaver = None
+        self._code_geometry = None
+        self._demapper = None
+        if self._code is not None:
+            if scheme is None:
+                raise ValueError(
+                    "a coded pipeline needs a constellation scheme"
+                )
+            capacity = n_points * CONSTELLATIONS[scheme].bits_per_symbol
+            self._code_geometry = self._code.block_geometry(capacity)
+            self._interleaver = resolve_interleaver(
+                "block" if interleaver is None else interleaver, capacity
+            )
+            self._demapper = get_demapper(scheme)
+        elif interleaver is not None:
+            raise ValueError(
+                "interleaver= needs a coded pipeline (pass code= too)"
+            )
         self._stage_defs = list(
             stages if stages is not None else DEFAULT_OFDM_CHAIN
         )
@@ -216,9 +252,10 @@ class Pipeline:
     def describe(self) -> str:
         """Human-readable chain summary."""
         chain = " -> ".join(self.stage_names)
+        coded = f", code={self._code.name}" if self._code else ""
         return (f"{self.name}: {chain} "
                 f"(N={self.n_points}, backend={self.backend}, "
-                f"precision={self.precision})")
+                f"precision={self.precision}{coded})")
 
     def __repr__(self) -> str:
         return f"Pipeline({self.describe()})"
@@ -251,8 +288,8 @@ class Pipeline:
             return
         cfg = self._config
         known = {"n_points", "backend", "precision", "workers", "batch",
-                 "scheme", "channel", "snr_db", "source_scale", "seed",
-                 "name"}
+                 "scheme", "channel", "snr_db", "source_scale", "code",
+                 "code_rate", "interleaver", "seed", "name"}
         extra = {k: v for k, v in cfg.items() if k not in known}
         spec = get_backend(cfg["backend"])
         self._engine = build_engine(
@@ -343,14 +380,17 @@ class Pipeline:
 
     # Execution -----------------------------------------------------------
 
-    def run(self, symbols: int = None, data=None,
-            seed: int = None) -> PipelineResult:
+    def run(self, symbols: int = None, data=None, seed: int = None,
+            snr_db: float = None) -> PipelineResult:
         """Execute one burst through the chain; returns the result.
 
         ``symbols`` sets the burst size for source-fed chains; ``data``
         injects explicit input instead (its first axis is the burst).
         Each run uses a fresh ``default_rng`` (the pipeline's ``seed``
         unless overridden), so identical calls reproduce bit-for-bit.
+        ``snr_db`` overrides the configured SNR for this run only —
+        sweeps reuse one pipeline (and its engines) across noise
+        points instead of rebuilding per point.
         """
         self._ensure_engines()
         if data is not None:
@@ -378,18 +418,30 @@ class Pipeline:
                 CONSTELLATIONS[cfg["scheme"]] if cfg["scheme"] else None
             ),
             channel=cfg["channel"],
-            snr_db=cfg["snr_db"],
+            snr_db=cfg["snr_db"] if snr_db is None else float(snr_db),
             source_scale=cfg["source_scale"],
+            code=self._code,
+            code_geometry=self._code_geometry,
+            interleaver=self._interleaver,
+            demapper=self._demapper,
         )
         outputs = {}
+        stage_seconds = {}
         for stage in self._stages:
+            started = time.perf_counter()
             data = stage.run(ctx, data)
+            elapsed = time.perf_counter() - started
             key = stage.name
             serial = 2
             while key in outputs:
                 key = f"{stage.name}#{serial}"
                 serial += 1
             outputs[key] = data
+            stage_seconds[key] = elapsed
+        # Per-stage wall clock rides in the metrics dictionary so every
+        # consumer of the result (CLI --record rows, sweeps, benches)
+        # sees where the run's time went.
+        ctx.metrics["stage_seconds"] = stage_seconds
         return PipelineResult(
             name=self.name,
             n_points=cfg["n_points"],

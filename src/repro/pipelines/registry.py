@@ -33,9 +33,11 @@ __all__ = [
 ]
 
 #: the data kinds flowing between stages.  "none" is the empty input a
-#: source stage accepts; "any"/"same" are the wildcard consume/produce
-#: declarations of pass-through stages (metrics, taps, ...).
-DATA_KINDS = ("none", "bits", "symbols", "signal", "spectrum")
+#: source stage accepts; "llrs" is the soft-decision bit-likelihood
+#: matrix the coded receive chain carries between the demapper and the
+#: decoder; "any"/"same" are the wildcard consume/produce declarations
+#: of pass-through stages (metrics, taps, ...).
+DATA_KINDS = ("none", "bits", "symbols", "signal", "spectrum", "llrs")
 
 
 @dataclass(frozen=True)
@@ -93,8 +95,11 @@ def unregister_stage(name: str) -> None:
 
 
 def _bootstrap() -> None:
-    """Load the built-in stages (registered by :mod:`.stages`)."""
+    """Load the built-in stages (registered on import): the OFDM chain
+    from :mod:`.stages` and the coded chain from
+    :mod:`repro.coding.stages`."""
     from . import stages  # noqa: F401  (registers on import)
+    from ..coding import stages as coding_stages  # noqa: F401
 
 
 def get_stage(name: str) -> StageSpec:

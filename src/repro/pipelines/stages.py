@@ -66,11 +66,19 @@ class PipelineContext:
     channel: MultipathChannel = None
     snr_db: float = None
     source_scale: float = 1.0
+    code: object = None            # PuncturedCode for coded chains
+    code_geometry: object = None   # BlockGeometry per OFDM symbol
+    interleaver: object = None     # per-symbol bit permutation
+    demapper: object = None        # SoftDemapper override (else by scheme)
     tx_bits: np.ndarray = None
     reference_symbols: np.ndarray = None
     transform_result: TransformResult = None
     equalised: np.ndarray = None
     rx_bits: np.ndarray = None
+    tx_info_bits: np.ndarray = None
+    rx_info_bits: np.ndarray = None
+    coded_bits: np.ndarray = None  # pre-interleave coded symbol payloads
+    llrs: np.ndarray = None        # deinterleaved per-bit LLRs
     metrics: dict = field(default_factory=dict)
 
     @property
@@ -104,26 +112,36 @@ class Stage:
 class RandomBitsSource(Stage):
     """Draw one payload of random bits per symbol (OfdmLink's source).
 
+    In a coded chain (``ctx.code`` set) the payload is the terminated
+    code block's **information bits** — ``code_geometry.info_bits`` per
+    OFDM symbol, drawn in the same one-draw-per-symbol order — and the
+    downstream ``encode`` stage expands it to the coded capacity.
+
     Explicit input overrides the draw: ``Pipeline.run(data=bits)``
-    passes a ``(symbols, bits_per_symbol)`` matrix straight through,
-    so parity tests and replay runs can inject exact payloads.
+    passes a ``(symbols, payload)`` matrix straight through, so parity
+    tests and replay runs can inject exact payloads.
     """
 
     def run(self, ctx: PipelineContext, data):
+        payload = (ctx.code_geometry.info_bits if ctx.code is not None
+                   else ctx.bits_per_symbol)
         if data is not None:
             bits = np.asarray(data, dtype=int)
-            if bits.ndim != 2 or bits.shape[1] != ctx.bits_per_symbol:
+            if bits.ndim != 2 or bits.shape[1] != payload:
                 raise ValueError(
-                    f"expected ({ctx.symbols}, {ctx.bits_per_symbol}) "
+                    f"expected ({ctx.symbols}, {payload}) "
                     f"bits, got shape {bits.shape}"
                 )
         else:
             # One draw per symbol, exactly OfdmLink.random_bits' order.
             bits = np.stack([
-                ctx.rng.integers(0, 2, size=ctx.bits_per_symbol)
+                ctx.rng.integers(0, 2, size=payload)
                 for _ in range(ctx.symbols)
             ])
-        ctx.tx_bits = bits
+        if ctx.code is not None:
+            ctx.tx_info_bits = bits
+        else:
+            ctx.tx_bits = bits
         return bits
 
 

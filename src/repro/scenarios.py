@@ -25,6 +25,13 @@ Built-in presets (``repro.scenario_names()``):
 ``spectral``        plain Q1.15 spectral analysis of a block stream (no
                     modulation) — StreamingFFT's workload with overflow
                     accounting
+``dvbt-2k``         DVB-T 2k mode: 2048-carrier QPSK behind the K=7
+                    rate-2/3 convolutional codec (coded chain)
+``dvbt-8k``         DVB-T 8k mode: 8192-carrier 16-QAM, K=7 rate 3/4
+``uwb-ofdm-coded``  the MB-UWB workload behind the standard K=7
+                    rate-1/2 codec
+``wimax-ofdm-coded`` 802.16 WiMAX 16-QAM, K=7 rate 3/4, block
+                    interleaved
 =================== =====================================================
 
 The registry is open like the backend and stage registries: register a
@@ -41,7 +48,12 @@ import numpy as np
 
 from .core.registry import UnknownNameError
 from .ofdm.channel import MultipathChannel
-from .pipelines import DEFAULT_OFDM_CHAIN, SPECTRUM_CHAIN, Pipeline
+from .pipelines import (
+    CODED_OFDM_CHAIN,
+    DEFAULT_OFDM_CHAIN,
+    SPECTRUM_CHAIN,
+    Pipeline,
+)
 
 __all__ = [
     "ScenarioSpec",
@@ -76,6 +88,9 @@ class ScenarioSpec:
     backend: str = None          # None -> the pipeline default rule
     source_scale: float = 1.0
     channel_profile: tuple = None  # (n_taps, decay, rng_seed)
+    code: str = None             # registered code name for coded chains
+    code_rate: str = "1/2"       # puncture rate ("1/2", "2/3", "3/4")
+    interleaver: object = None   # interleaver name (None -> "block")
     symbols: int = 16            # default burst for run_scenario / CLI
     seed: int = 0
 
@@ -101,6 +116,8 @@ class ScenarioSpec:
             backend=self.backend, precision=self.precision,
             scheme=self.scheme, channel=self.make_channel(),
             snr_db=self.snr_db, source_scale=self.source_scale,
+            code=self.code, code_rate=self.code_rate,
+            interleaver=self.interleaver,
             seed=self.seed, name=self.name,
         )
         n_points = overrides.pop("n_points", self.n_points)
@@ -209,6 +226,57 @@ _BUILTIN_SCENARIOS = (
         precision="q15",
         source_scale=0.25,
         symbols=32,
+    ),
+    # Coded presets: the chains deployed receivers actually run — a
+    # K=7 convolutional codec with soft-decision demapping in front of
+    # the FFT, one terminated code block per OFDM symbol.
+    ScenarioSpec(
+        name="dvbt-2k",
+        description="DVB-T 2k mode: 2048-carrier QPSK, K=7 rate-2/3 "
+                    "coded with soft-decision Viterbi",
+        n_points=2048,
+        stages=CODED_OFDM_CHAIN,
+        scheme="qpsk",
+        snr_db=10.0,
+        code="conv-k7",
+        code_rate="2/3",
+        symbols=4,
+    ),
+    ScenarioSpec(
+        name="dvbt-8k",
+        description="DVB-T 8k mode: 8192-carrier 16-QAM, K=7 rate-3/4 "
+                    "coded with soft-decision Viterbi",
+        n_points=8192,
+        stages=CODED_OFDM_CHAIN,
+        scheme="16qam",
+        snr_db=20.0,
+        code="conv-k7",
+        code_rate="3/4",
+        symbols=2,
+    ),
+    ScenarioSpec(
+        name="uwb-ofdm-coded",
+        description="802.15.3a MB-UWB behind the standard K=7 rate-1/2 "
+                    "codec (the paper's workload, coded)",
+        n_points=1024,
+        stages=CODED_OFDM_CHAIN,
+        scheme="qpsk",
+        snr_db=8.0,
+        code="conv-k7",
+        code_rate="1/2",
+        symbols=8,
+    ),
+    ScenarioSpec(
+        name="wimax-ofdm-coded",
+        description="802.16 WiMAX 256-carrier 16-QAM, K=7 rate-3/4 "
+                    "coded with block interleaving",
+        n_points=256,
+        stages=CODED_OFDM_CHAIN,
+        scheme="16qam",
+        snr_db=18.0,
+        code="conv-k7",
+        code_rate="3/4",
+        symbols=8,
     ),
 )
 

@@ -103,10 +103,19 @@ class StreamSession:
         self._symbols_fed = 0
         self._symbols_done = 0
         self._closed = False
+        self._closing = False
         # One condition guards all buffer state and signals both "room
         # freed" (drain) and "results available / closed" (execute,
         # close) to threaded producers and consumers.
         self._cond = threading.Condition()
+        # Chunk execution is serialised under this lock: the engine is
+        # not thread-safe, so exactly one chunk runs at a time, and
+        # chunks are cut batch-at-a-time under the condition variable,
+        # so concurrent producers never split an off-size chunk.  The
+        # lock is only ever held while a chunk actually executes —
+        # never across a capacity wait — so consumers (drain, flush)
+        # and waiting producers cannot deadlock on it.
+        self._exec_lock = threading.Lock()
 
     # Introspection -------------------------------------------------------
 
@@ -164,7 +173,15 @@ class StreamSession:
         """
         if self._closed:
             return
-        self.flush()
+        # Raise the closing flag first: feeds racing this close either
+        # refuse (the flag is checked under the condition variable
+        # before every append) or their append lands before the flag
+        # and is picked up by the final drain below — nothing is
+        # silently dropped, and no symbol reaches a closed engine.
+        with self._cond:
+            self._closing = True
+            self._cond.notify_all()
+        self._execute_pending(include_partial=True)
         with self._cond:
             self._closed = True
             self._cond.notify_all()
@@ -190,8 +207,16 @@ class StreamSession:
         :class:`SessionBackpressure` at once; with a ``wait`` timeout
         (seconds) it blocks until a consumer drains space or the timeout
         expires (then raises).
+
+        Feeds are multi-producer safe: appends and chunk cuts are
+        serialised under the session's condition variable (chunks are
+        cut at exactly ``batch`` symbols however producers interleave)
+        and the engine executes one chunk at a time — concurrent
+        producer threads need no locking of their own.  Capacity waits
+        hold no lock besides the condition variable, so consumers keep
+        draining and blocked producers always resolve.
         """
-        if self._closed:
+        if self._closed or self._closing:
             raise SessionClosed(f"{self!r} is closed")
         blocks = np.asarray(blocks, dtype=complex)
         if blocks.ndim == 1:
@@ -204,16 +229,21 @@ class StreamSession:
         for block in blocks:
             run_chunk = False
             with self._cond:
+                # Re-checked under the lock: a close() racing this feed
+                # either wins here (we refuse) or sees our append in
+                # its final flush — symbols are never silently dropped.
                 self._wait_for_room(wait)
                 self._pending.append(np.array(block))
                 self._symbols_fed += 1
                 run_chunk = len(self._pending) >= self.batch
             if run_chunk:
-                self._execute_chunk()
+                self._execute_pending()
         return len(blocks)
 
     def _wait_for_room(self, wait: float) -> None:
         # Caller holds self._cond.
+        if self._closed or self._closing:
+            raise SessionClosed(f"{self!r} is closed")
         if self.buffered_symbols < self.capacity:
             return
         if wait is None:
@@ -224,10 +254,10 @@ class StreamSession:
             )
         ok = self._cond.wait_for(
             lambda: self.buffered_symbols < self.capacity
-            or self._closed,
+            or self._closed or self._closing,
             timeout=wait,
         )
-        if self._closed:
+        if self._closed or self._closing:
             raise SessionClosed(f"{self!r} closed while waiting to feed")
         if not ok:
             raise SessionBackpressure(
@@ -236,38 +266,63 @@ class StreamSession:
             )
 
     def flush(self) -> None:
-        """Execute the pending partial chunk now (no-op when empty)."""
+        """Execute the pending partial chunk now (no-op when empty).
+
+        Serialised with producer-triggered execution on the engine, so
+        a flush never races a chunk mid-flight.  It waits on chunk
+        *executions* only (the in-flight one, plus whatever producers
+        keep feeding while it drains) — never on a producer's capacity
+        timeout.
+        """
         if self._closed:
             raise SessionClosed(f"{self!r} is closed")
-        self._execute_chunk()
+        self._execute_pending(include_partial=True)
 
-    def _execute_chunk(self) -> None:
-        with self._cond:
-            if not self._pending:
-                return
-            chunk = np.stack(self._pending)
-            self._pending.clear()
-            self._in_flight = len(chunk)
-            symbols_before = self._symbols_done
-        # The engine call runs outside the lock so consumers can drain
-        # earlier chunks while this one computes.
-        try:
-            result = self.engine.transform_many(chunk)
-            if self.verify:
-                self.engine._verify_chunk(
-                    chunk, result.spectrum, symbols_before
-                )
-        except BaseException:
-            with self._cond:
-                self._in_flight = 0
-                self._cond.notify_all()
-            raise
-        with self._cond:
-            self._in_flight = 0
-            self._ready.append(result)
-            self._ready_symbols += len(chunk)
-            self._symbols_done += len(chunk)
-            self._cond.notify_all()
+    def _execute_pending(self, include_partial: bool = False) -> None:
+        """Run pending symbols through the engine, one chunk at a time.
+
+        Chunks are cut at exactly ``batch`` symbols under the condition
+        variable (so concurrent producers never split an off-size
+        chunk); ``include_partial`` also drains a final short chunk
+        (flush/close).  The engine lock is held only while chunks
+        actually execute; whoever holds it keeps cutting until the
+        pending queue is below one batch, so no executable chunk is
+        ever stranded.
+        """
+        with self._exec_lock:
+            while True:
+                with self._cond:
+                    count = len(self._pending)
+                    if count >= self.batch:
+                        take = self.batch
+                    elif count and include_partial:
+                        take = count
+                    else:
+                        return
+                    chunk = np.stack(self._pending[:take])
+                    del self._pending[:take]
+                    self._in_flight = take
+                    symbols_before = self._symbols_done
+                # The engine call runs outside the condition variable
+                # so consumers can drain earlier chunks while this one
+                # computes.
+                try:
+                    result = self.engine.transform_many(chunk)
+                    if self.verify:
+                        self.engine._verify_chunk(
+                            chunk, result.spectrum, symbols_before
+                        )
+                except BaseException:
+                    with self._cond:
+                        self._in_flight = 0
+                        self._cond.notify_all()
+                    raise
+                with self._cond:
+                    self._in_flight = 0
+                    self._ready.append(result)
+                    self._ready_symbols += take
+                    self._symbols_done += take
+                    self._cond.notify_all()
 
     # Consumer side -------------------------------------------------------
 

@@ -1,0 +1,399 @@
+"""The channel-coding subsystem: codec, interleavers, demappers, Viterbi."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.coding import (
+    PUNCTURE_PATTERNS,
+    BlockInterleaver,
+    ConvolutionalCode,
+    IdentityInterleaver,
+    SoftDemapper,
+    ViterbiDecoder,
+    build_interleaver,
+    code_names,
+    demapper_names,
+    get_code,
+    get_demapper,
+    get_interleaver,
+    interleaver_names,
+    register_code,
+    register_demapper,
+    register_interleaver,
+    resolve_code,
+    resolve_interleaver,
+    unregister_code,
+    unregister_demapper,
+    unregister_interleaver,
+)
+from repro.ofdm.modulation import CONSTELLATIONS
+
+RATES = tuple(sorted(PUNCTURE_PATTERNS))
+
+
+class TestConvolutionalCode:
+    def test_k7_trellis_shape(self):
+        code = get_code("conv-k7")
+        assert code.constraint_length == 7
+        assert code.n_states == 64
+        assert code.outputs.shape == (64, 2, 2)
+        assert code.prev_states.shape == (64, 2)
+
+    def test_predecessor_tables_invert_next_states(self):
+        code = get_code("conv-k7")
+        for state in range(code.n_states):
+            for bit in (0, 1):
+                ns = code.next_states[state, bit]
+                assert state in code.prev_states[ns]
+                assert code.input_bits[ns] == bit
+
+    def test_vectorized_encoder_matches_reference(self):
+        rng = np.random.default_rng(7)
+        for name in ("conv-k7", "conv-k3"):
+            code = get_code(name)
+            bits = rng.integers(0, 2, size=(4, 50))
+            assert np.array_equal(code.encode(bits),
+                                  code.encode_reference(bits))
+
+    def test_termination_returns_to_zero_state(self):
+        code = get_code("conv-k7")
+        out = code.encode_reference(np.ones(20, dtype=int))
+        assert out.shape == (20 + code.memory, 2)
+
+    def test_needs_two_generators(self):
+        with pytest.raises(ValueError, match="generators"):
+            ConvolutionalCode("bad", (0o7,))
+
+
+class TestPuncturing:
+    @pytest.mark.parametrize("rate", RATES)
+    def test_geometry_fills_capacity(self, rate):
+        punct = get_code("conv-k7").punctured(rate)
+        for capacity in (128, 256, 384, 1000):
+            geom = punct.block_geometry(capacity)
+            assert geom.coded_bits <= capacity
+            assert geom.coded_bits + geom.pad_bits == capacity
+            assert geom.info_bits == geom.steps - 6
+            assert punct.coded_length(geom.steps) == geom.coded_bits
+            # maximal: one more step would overflow the capacity
+            assert punct.coded_length(geom.steps + 1) > capacity
+
+    @pytest.mark.parametrize("rate", RATES)
+    def test_encode_pads_to_capacity(self, rate):
+        punct = get_code("conv-k7").punctured(rate)
+        geom = punct.block_geometry(128)
+        rng = np.random.default_rng(1)
+        info = rng.integers(0, 2, size=(3, geom.info_bits))
+        coded = punct.encode(info, capacity=128)
+        assert coded.shape == (3, 128)
+        assert not coded[:, geom.coded_bits:].any()  # zero pad
+
+    def test_depuncture_round_trip(self):
+        punct = get_code("conv-k7").punctured("3/4")
+        geom = punct.block_geometry(128)
+        rng = np.random.default_rng(2)
+        llrs = rng.standard_normal((2, geom.coded_bits))
+        grid = punct.depuncture(llrs)
+        assert grid.shape == (2, geom.steps, 2)
+        # kept positions carry the stream, punctured positions zero
+        assert np.array_equal(grid[..., punct.step_mask(geom.steps)], llrs)
+        assert np.count_nonzero(grid) == llrs.size
+
+    def test_unknown_rate_lists_menu(self):
+        with pytest.raises(repro.UnknownNameError, match="3/4"):
+            get_code("conv-k7").punctured("7/8")
+
+
+class TestViterbi:
+    @pytest.mark.parametrize("rate", RATES)
+    def test_noiseless_round_trip(self, rate):
+        punct = get_code("conv-k7").punctured(rate)
+        geom = punct.block_geometry(192)
+        rng = np.random.default_rng(3)
+        info = rng.integers(0, 2, size=(4, geom.info_bits))
+        llrs = 1.0 - 2.0 * punct.encode(info).astype(float)
+        assert np.array_equal(punct.decode(llrs), info)
+
+    @pytest.mark.parametrize("rate", RATES)
+    @pytest.mark.parametrize("code_name", ("conv-k7", "conv-k3"))
+    def test_vectorized_bit_identical_to_oracle(self, code_name, rate):
+        """The acceptance-criterion identity: randomized seeded trials."""
+        punct = get_code(code_name).punctured(rate)
+        geom = punct.block_geometry(128)
+        rng = np.random.default_rng(hash((code_name, rate)) % 2**32)
+        for trial in range(3):
+            info = rng.integers(0, 2, size=(3, geom.info_bits))
+            clean = 1.0 - 2.0 * punct.encode(info).astype(float)
+            # Heavy noise on purpose: ties and wrong paths stress the
+            # compare-select ordering, not just the happy path.
+            noisy = clean + 1.2 * rng.standard_normal(clean.shape)
+            fast = punct.decode(noisy)
+            oracle = punct.decode(noisy, reference=True)
+            assert np.array_equal(fast, oracle)
+
+    def test_batch_matches_per_block_decode(self):
+        punct = get_code("conv-k7").punctured("1/2")
+        geom = punct.block_geometry(96)
+        rng = np.random.default_rng(5)
+        info = rng.integers(0, 2, size=(6, geom.info_bits))
+        llrs = (1.0 - 2.0 * punct.encode(info)
+                + 0.9 * rng.standard_normal((6, geom.coded_bits)))
+        batched = punct.decode(llrs)
+        rows = np.stack([punct.decode(row) for row in llrs])
+        assert np.array_equal(batched, rows)
+
+    def test_corrects_hard_decision_errors(self):
+        """Soft decoding repairs a channel hard decisions get wrong."""
+        punct = get_code("conv-k7").punctured("1/2")
+        geom = punct.block_geometry(512)
+        rng = np.random.default_rng(6)
+        info = rng.integers(0, 2, size=geom.info_bits)
+        clean = 1.0 - 2.0 * punct.encode(info).astype(float)
+        noisy = clean + 0.7 * rng.standard_normal(clean.shape)
+        raw_errors = int(np.sum((noisy < 0) != (clean < 0)))
+        decoded_errors = int(np.sum(punct.decode(noisy) != info))
+        assert raw_errors > 0
+        assert decoded_errors < raw_errors
+
+    def test_rejects_bad_shapes(self):
+        decoder = ViterbiDecoder(get_code("conv-k7"))
+        with pytest.raises(ValueError, match="steps"):
+            decoder.decode(np.zeros((4, 3)))
+        with pytest.raises(ValueError, match="trellis steps"):
+            decoder.decode(np.zeros((4, 2)))
+
+
+class TestInterleavers:
+    def test_block_interleaver_round_trip(self):
+        rng = np.random.default_rng(8)
+        il = BlockInterleaver(64, depth=8)
+        x = rng.standard_normal((3, 64))
+        assert np.array_equal(il.deinterleave(il.interleave(x)), x)
+
+    def test_block_interleaver_spreads_adjacent_bits(self):
+        il = BlockInterleaver(64, depth=8)
+        a, b = il.permutation[0], il.permutation[1]
+        assert abs(int(a) - int(b)) == 8  # column stride on the air
+
+    def test_identity_is_noop(self):
+        il = IdentityInterleaver(16)
+        x = np.arange(16)
+        assert np.array_equal(il.interleave(x), x)
+
+    def test_depth_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            BlockInterleaver(10, depth=4)
+
+    def test_resolve_accepts_all_designators(self):
+        assert isinstance(resolve_interleaver(None, 32),
+                          IdentityInterleaver)
+        assert isinstance(resolve_interleaver("block", 32),
+                          BlockInterleaver)
+        custom = resolve_interleaver(("block", {"depth": 4}), 32)
+        assert custom.depth == 4
+        assert resolve_interleaver(custom, 32) is custom
+        with pytest.raises(ValueError, match="sized for"):
+            resolve_interleaver(custom, 64)
+        with pytest.raises(TypeError, match="designator"):
+            resolve_interleaver(1234, 32)
+
+
+class TestSoftDemappers:
+    @pytest.mark.parametrize("scheme", ("bpsk", "qpsk", "16qam"))
+    def test_noiseless_signs_recover_bits(self, scheme):
+        constellation = CONSTELLATIONS[scheme]
+        rng = np.random.default_rng(9)
+        bits = rng.integers(0, 2, size=32 * constellation.bits_per_symbol)
+        llrs = get_demapper(scheme).llrs(constellation.map_bits(bits))
+        assert np.array_equal((llrs < 0).astype(int), bits)
+
+    @pytest.mark.parametrize("scheme", ("bpsk", "qpsk", "16qam"))
+    def test_llr_signs_match_hard_demap_under_noise(self, scheme):
+        constellation = CONSTELLATIONS[scheme]
+        rng = np.random.default_rng(10)
+        bits = rng.integers(0, 2, size=64 * constellation.bits_per_symbol)
+        symbols = constellation.map_bits(bits)
+        noisy = symbols + 0.15 * (rng.standard_normal(symbols.shape)
+                                  + 1j * rng.standard_normal(symbols.shape))
+        hard = constellation.unmap_symbols(noisy)
+        soft = get_demapper(scheme).hard_bits(
+            get_demapper(scheme).llrs(noisy)
+        )
+        assert np.array_equal(hard, soft)
+
+    def test_batch_llrs_match_rows(self):
+        demapper = get_demapper("16qam")
+        rng = np.random.default_rng(11)
+        symbols = (rng.standard_normal((4, 16))
+                   + 1j * rng.standard_normal((4, 16)))
+        batched = demapper.llrs(symbols)
+        assert batched.shape == (4, 64)
+        for k, row in enumerate(symbols):
+            assert np.array_equal(batched[k], demapper.llrs(row))
+
+    def test_noise_var_is_affine_scale(self):
+        demapper = get_demapper("qpsk")
+        rng = np.random.default_rng(12)
+        symbols = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        assert np.allclose(demapper.llrs(symbols, noise_var=0.5),
+                           demapper.llrs(symbols) / 0.5)
+
+
+class TestCodingRegistries:
+    """Error paths match the backend/stage/scenario registries."""
+
+    def test_unknown_code_lists_menu(self):
+        with pytest.raises(KeyError, match="conv-k7"):
+            get_code("turbo")
+        with pytest.raises(ValueError, match="registered codes"):
+            get_code("turbo")
+        assert isinstance(
+            pytest.raises(repro.UnknownNameError, get_code, "x").value,
+            LookupError,
+        )
+
+    def test_unknown_interleaver_lists_menu(self):
+        with pytest.raises(KeyError, match="block"):
+            get_interleaver("random")
+        with pytest.raises(ValueError, match="registered interleavers"):
+            build_interleaver("random", 64)
+
+    def test_unknown_demapper_lists_menu(self):
+        with pytest.raises(KeyError, match="16qam"):
+            get_demapper("64qam")
+        with pytest.raises(ValueError, match="registered demappers"):
+            get_demapper("64qam")
+
+    def test_register_unregister_code(self):
+        code = ConvolutionalCode("k2-test", (0o3, 0o1))
+        register_code(code)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_code(code)
+            assert get_code("k2-test") is code
+            assert "k2-test" in code_names()
+        finally:
+            unregister_code("k2-test")
+        with pytest.raises(KeyError):
+            get_code("k2-test")
+
+    def test_register_unregister_interleaver(self):
+        register_interleaver("throwaway", IdentityInterleaver)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_interleaver("throwaway", IdentityInterleaver)
+            assert "throwaway" in interleaver_names()
+            assert isinstance(build_interleaver("throwaway", 8),
+                              IdentityInterleaver)
+        finally:
+            unregister_interleaver("throwaway")
+
+    def test_register_unregister_demapper(self):
+        demapper = SoftDemapper(CONSTELLATIONS["64qam"])
+        register_demapper("64qam-test", demapper)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_demapper("64qam-test", demapper)
+            assert get_demapper("64qam-test") is demapper
+            assert "64qam-test" in demapper_names()
+        finally:
+            unregister_demapper("64qam-test")
+
+    def test_registration_type_checked(self):
+        with pytest.raises(TypeError, match="ConvolutionalCode"):
+            register_code("not-a-code")
+        with pytest.raises(TypeError, match="callable"):
+            register_interleaver("bad", None)
+        with pytest.raises(TypeError, match="llrs"):
+            register_demapper("bad", object())
+
+    def test_resolve_code_designators(self):
+        assert resolve_code(None) is None
+        punct = resolve_code("conv-k7", "3/4")
+        assert punct.rate == "3/4"
+        assert resolve_code(punct) is punct
+        base = get_code("conv-k3")
+        assert resolve_code(base, "2/3").base is base
+
+
+class TestCodedOfdmLink:
+    def test_run_coded_clean_at_high_snr(self):
+        from repro.ofdm import CodedOfdmLink
+
+        with CodedOfdmLink(64, scheme="qpsk", rate="1/2",
+                           snr_db=30.0, seed=0) as link:
+            result = link.run_coded(4)
+        assert result.symbols == 4
+        assert result.coded_ber == 0.0
+        assert result.frame_error_rate == 0.0
+        assert result.tx_info_bits.shape == (4, link.info_bits_per_symbol)
+
+    def test_coded_beats_uncoded_in_noise(self):
+        from repro.ofdm import CodedOfdmLink
+
+        with CodedOfdmLink(128, scheme="qpsk", rate="1/2",
+                           snr_db=6.0, seed=1) as link:
+            result = link.run_coded(16)
+        assert result.uncoded_ber > 0.0
+        assert result.coded_ber <= result.uncoded_ber
+
+    def test_from_scenario_coded_preset(self):
+        from repro.ofdm import CodedOfdmLink
+
+        with CodedOfdmLink.from_scenario(
+            "wimax-ofdm-coded", n_subcarriers=64
+        ) as link:
+            assert link.code.rate == "3/4"
+            metrics = link.measure_coded_ber(symbols=2)
+        assert set(metrics) == {"coded_ber", "uncoded_ber", "fer"}
+
+    def test_from_scenario_rejects_uncoded(self):
+        from repro.ofdm import CodedOfdmLink
+
+        with pytest.raises(ValueError, match="uncoded"):
+            CodedOfdmLink.from_scenario("uwb-ofdm")
+
+    def test_needs_a_code(self):
+        from repro.ofdm import CodedOfdmLink
+
+        with pytest.raises(ValueError, match="needs a code"):
+            CodedOfdmLink(64, code=None)
+
+
+class TestCodedBerSweep:
+    def test_sweep_by_scenario(self):
+        from repro.analysis import coded_ber_sweep
+
+        curve = coded_ber_sweep((6.0, 12.0), scenario="uwb-ofdm-coded",
+                                n_points=64, symbols=4)
+        assert set(curve) == {6.0, 12.0}
+        for point in curve.values():
+            assert set(point) == {"coded_ber", "uncoded_ber", "fer"}
+            assert point["coded_ber"] <= point["uncoded_ber"]
+
+    def test_sweep_explicit_geometry(self):
+        from repro.analysis import coded_ber_sweep
+
+        curve = coded_ber_sweep((20.0,), n_points=64, scheme="16qam",
+                                code_rate="3/4", symbols=2)
+        assert curve[20.0]["coded_ber"] == 0.0
+
+    def test_sweep_rejects_uncoded_scenario(self):
+        from repro.analysis import coded_ber_sweep
+
+        with pytest.raises(ValueError, match="uncoded"):
+            coded_ber_sweep((10.0,), scenario="uwb-ofdm")
+
+    def test_sweep_rejects_scenario_codec_conflicts(self):
+        from repro.analysis import coded_ber_sweep
+
+        with pytest.raises(ValueError, match="code_rate"):
+            coded_ber_sweep((10.0,), scenario="uwb-ofdm-coded",
+                            code_rate="3/4")
+
+    def test_sweep_needs_geometry(self):
+        from repro.analysis import coded_ber_sweep
+
+        with pytest.raises(ValueError, match="n_points or scenario"):
+            coded_ber_sweep((10.0,))

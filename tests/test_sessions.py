@@ -206,6 +206,77 @@ class TestBackpressure:
         assert sum(c.n_symbols for c in chunks) == 6
 
 
+class TestMultiProducer:
+    """feed() is serialised: concurrent producers need no locking."""
+
+    def test_two_producers_lose_nothing_and_keep_chunks_whole(self):
+        n, batch, per_producer = 16, 4, 16
+        sess = repro.session(n, batch=batch, capacity=2 * batch)
+        errors = []
+
+        def produce(tag):
+            try:
+                for k in range(per_producer):
+                    # A constant block is identifiable after the FFT:
+                    # bin 0 holds n * value, every other bin 0.
+                    value = tag * 100.0 + k + 1.0
+                    sess.feed(np.full(n, value, dtype=complex), wait=10.0)
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        producers = [threading.Thread(target=produce, args=(tag,))
+                     for tag in (1, 2)]
+        for thread in producers:
+            thread.start()
+        chunks = []
+        try:
+            while sum(c.n_symbols for c in chunks) < 2 * per_producer:
+                chunks.extend(sess.drain())
+        finally:
+            for thread in producers:
+                thread.join(timeout=10.0)
+            sess.close()
+        chunks.extend(sess.drain())
+        assert not errors
+        assert not any(thread.is_alive() for thread in producers)
+        assert sess.symbols_fed == sess.symbols_done == 2 * per_producer
+        # Serialised feeds always cut whole batches — interleaving two
+        # producers must never produce an off-size chunk.
+        assert [c.n_symbols for c in chunks] == \
+            [batch] * (2 * per_producer // batch)
+        # Every fed block comes back exactly once (order may interleave).
+        seen = sorted(
+            round(float(c.spectrum[k, 0].real) / n)
+            for c in chunks for k in range(c.n_symbols)
+        )
+        expected = sorted(tag * 100 + k + 1 for tag in (1, 2)
+                          for k in range(per_producer))
+        assert seen == expected
+
+    def test_flush_is_serialised_with_feeds(self):
+        sess = repro.session(16, batch=4, capacity=16)
+        stop = threading.Event()
+
+        def produce():
+            k = 0
+            while not stop.is_set():
+                sess.feed(_blocks(1, 16, seed=k), wait=5.0)
+                sess.drain()
+                k += 1
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        try:
+            for _ in range(20):
+                sess.flush()
+        finally:
+            stop.set()
+            producer.join(timeout=10.0)
+            sess.close()
+        assert not producer.is_alive()
+        assert sess.symbols_done == sess.symbols_fed
+
+
 class TestStreamingParity:
     def test_session_matches_streaming_fft_cycles(self):
         blocks = _blocks(6, 32, seed=2)
