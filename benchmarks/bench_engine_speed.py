@@ -35,6 +35,11 @@ Each run appends a dated entry to the ``history`` list in
 ``BENCH_engine.json`` at the repo root (the perf trajectory across PRs);
 ``latest`` always mirrors the newest entry.
 
+Each run (quick included) also times the lockstep co-execution harness
+(:func:`repro.verify.coexec_backends`) against a bare parity check on
+the same backend pair; quick mode records that overhead row in its own
+``coexec_quick`` section of ``BENCH_engine.json``.
+
 Run:     pytest benchmarks/bench_engine_speed.py -s
 Quick:   python benchmarks/bench_engine_speed.py --quick
          (small sizes, floors only, no trajectory write — the tier-1
@@ -281,6 +286,50 @@ def _time_sharded(n, symbols, workers=2, reps=2):
     return t_ref, t_fast
 
 
+def _time_coexec(n, symbols, reps=2):
+    """Lockstep co-execution cost vs a bare parity check.
+
+    Both run the same compiled/reference engine pair over the same
+    burst; the bare check only asserts end-to-end closeness, while
+    :func:`repro.verify.coexec_backends` adds the divergence
+    localisation machinery.  The recorded ``overhead`` ratio is the
+    price of the safety net — informational, not floored, because it
+    tracks the *ratio* of two cheap operations.
+    """
+    import repro
+    from repro.verify import coexec_backends
+
+    rng = np.random.default_rng(31)
+    blocks = rng.standard_normal((symbols, n)) + 1j * rng.standard_normal(
+        (symbols, n)
+    )
+    with repro.engine(n, backend="compiled") as eng_a, \
+            repro.engine(n, backend="reference") as eng_b:
+
+        def bare():
+            res_a = eng_a.transform_many(blocks)
+            res_b = eng_b.transform_many(blocks)
+            assert np.allclose(res_a.spectrum, res_b.spectrum, atol=1e-9)
+
+        def coexec():
+            result = coexec_backends(
+                n, ("compiled", "reference"),
+                engines=(eng_a, eng_b), blocks=blocks,
+            )
+            assert result.ok
+
+        bare(), coexec()  # warm the compiled tables
+        t_bare = _best_of(bare, reps)
+        t_coexec = _best_of(coexec, reps)
+    return {
+        "n": n,
+        "symbols": symbols,
+        "bare_ms": t_bare * 1e3,
+        "coexec_ms": t_coexec * 1e3,
+        "overhead": t_coexec / t_bare,
+    }
+
+
 def _facade_rows(n, symbols, reps=2):
     """Exercise every registered backend through the facade.
 
@@ -368,6 +417,8 @@ def collect_measurements(quick=False):
         }
     facade_n, facade_symbols = (64, 8) if quick else (256, 64)
     results["facade"] = _facade_rows(facade_n, facade_symbols)
+    coexec_n, coexec_symbols = (64, 8) if quick else (256, 32)
+    results["coexec"] = _time_coexec(coexec_n, coexec_symbols)
     return results
 
 
@@ -535,6 +586,15 @@ def run_quick() -> int:
         ber = f"ber={row['ber']:.3f}" if "ber" in row else "spectral"
         print(f"quick scenario {row['scenario']:<14} "
               f"{row['wall_ms']:8.2f} ms  {ber}  ok")
+    # Co-execution overhead vs a bare parity check (informational row,
+    # recorded in its own BENCH_engine.json section).
+    co = results["coexec"]
+    print(f"quick coexec {co['symbols']}x{co['n']}: "
+          f"bare {co['bare_ms']:.2f} ms -> lockstep {co['coexec_ms']:.2f} ms "
+          f"({co['overhead']:.2f}x overhead)  ok")
+    from repro.cli import record_backend_rows
+
+    record_backend_rows(RESULT_PATH, "coexec_quick", [co])
     return 1 if failed else 0
 
 

@@ -42,7 +42,10 @@ Public API layers underneath the facade:
 * :mod:`repro.asip`       — the FFT ASIP (code generator + machine);
 * :mod:`repro.baselines`  — Table II comparison implementations;
 * :mod:`repro.hw`         — gate-count / power / timing cost models;
-* :mod:`repro.analysis`   — tables, sweeps and verification helpers.
+* :mod:`repro.analysis`   — tables, sweeps and verification helpers;
+* :mod:`repro.verify`     — differential co-execution, fault injection
+  and seeded fuzzing across all of the above (``python -m repro
+  verify``).
 """
 
 from .core import ArrayFFT, array_fft
@@ -72,7 +75,7 @@ from .scenarios import (
 )
 from .sessions import StreamSession, session
 
-__version__ = "3.1.0"
+__version__ = "3.2.0"
 
 __all__ = [
     "engine",

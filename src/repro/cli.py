@@ -14,6 +14,12 @@ Usage::
     python -m repro run <scenario> [--symbols K] [--backend B]
     python -m repro run --list          # registered scenario presets
     python -m repro run --all           # every preset, one table
+    python -m repro verify --fuzz N [--seed S]
+                                        # seeded differential fuzzing
+    python -m repro verify --coexec <scenario> [--backends a,b]
+                                        # lockstep co-execution parity
+    python -m repro verify --inject <fault|all>
+                                        # fault-injection self-test
     python -m repro listing --size N    # the generated program listing
 
 The transform-running subcommands (``fft``, ``stream``, ``bench``,
@@ -138,6 +144,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--record", type=str, default="",
                      help="append this run's per-scenario rows to a "
                           "BENCH_engine.json-style file")
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential co-execution, fuzzing and fault injection",
+    )
+    verify.add_argument("--fuzz", type=int, default=None, metavar="N",
+                        help="run N seeded fuzz cases round-robin over "
+                             "the ISA/engine/scenario/coded generators")
+    verify.add_argument("--coexec", type=str, default=None,
+                        metavar="SCENARIO",
+                        help="co-execute one scenario preset's transform "
+                             "across a backend pair in lockstep")
+    verify.add_argument("--inject", type=str, default=None,
+                        choices=["twiddle", "branch-metric", "llr-sign",
+                                 "worker-shard", "asip-step", "all"],
+                        help="inject one fault class (or every class) "
+                             "and prove the harness localises it")
+    verify.add_argument("--backends", type=str,
+                        default="compiled,reference",
+                        help="comma-separated backend pair for --coexec")
+    verify.add_argument("--symbols", type=int, default=8,
+                        help="burst size for --coexec")
+    verify.add_argument("--seed", type=int, default=0)
 
     listing = sub.add_parser("listing", help="show the generated program")
     listing.add_argument("--size", type=int, default=64)
@@ -474,6 +503,71 @@ def _cmd_run(args) -> str:
     return out
 
 
+def _cmd_verify(args) -> tuple:
+    """Returns ``(text, exit_code)`` — non-zero on real divergences or
+    on a fault the harness failed to detect."""
+    from .verify import (
+        FAULT_CLASSES,
+        coexec_backends,
+        demonstrate_fault,
+        fuzz_backends,
+    )
+
+    chosen = [flag for flag in ("fuzz", "coexec", "inject")
+              if getattr(args, flag) is not None]
+    if len(chosen) != 1:
+        raise SystemExit(
+            "verify needs exactly one of --fuzz N, --coexec <scenario>, "
+            "--inject <fault>"
+        )
+
+    if args.fuzz is not None:
+        report = fuzz_backends(args.fuzz, seed=args.seed)
+        return report.summary(), 0 if report.ok else 1
+
+    if args.coexec is not None:
+        from .core.registry import UnknownNameError
+        from .scenarios import get_scenario
+
+        try:
+            spec = get_scenario(args.coexec)
+        except UnknownNameError as exc:
+            raise SystemExit(str(exc))
+        backends = tuple(
+            name.strip() for name in args.backends.split(",") if name.strip()
+        )
+        if len(backends) != 2:
+            raise SystemExit(
+                f"--backends needs a pair, got {args.backends!r}"
+            )
+        try:
+            result = coexec_backends(
+                spec.n_points, backends, symbols=args.symbols,
+                precision=spec.precision or "float", seed=args.seed,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        head = (f"coexec {spec.name}: N={spec.n_points} "
+                f"{spec.precision or 'float'} x{args.symbols} symbols "
+                f"on {backends[0]} vs {backends[1]} "
+                f"({result.seconds * 1e3:.1f} ms)")
+        if result.ok:
+            return f"{head}\nparity: OK ({result.steps} symbols compared)", 0
+        return f"{head}\n{result.report.describe()}", 1
+
+    kinds = FAULT_CLASSES if args.inject == "all" else (args.inject,)
+    lines, code = [], 0
+    for kind in kinds:
+        fault, result = demonstrate_fault(kind, seed=args.seed)
+        lines.append(fault.describe())
+        if result.ok:
+            lines.append("  MISSED: co-execution did not detect the fault")
+            code = 1
+        else:
+            lines.append(f"  detected -> {result.report.describe()}")
+    return "\n".join(lines), code
+
+
 def _cmd_listing(size: int) -> str:
     return generate_fft_program(size).listing()
 
@@ -504,6 +598,10 @@ def main(argv=None) -> int:
         ))
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "verify":
+        text, code = _cmd_verify(args)
+        print(text)
+        return code
     elif args.command == "listing":
         print(_cmd_listing(args.size))
     elif args.command == "report":

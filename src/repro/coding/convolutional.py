@@ -346,8 +346,10 @@ def code_names() -> list:
 
 
 def code_specs() -> dict:
-    """Snapshot of the registry (name -> :class:`ConvolutionalCode`)."""
-    return dict(_REGISTRY)
+    """Name-sorted snapshot of the registry (name ->
+    :class:`ConvolutionalCode`), deterministic regardless of
+    registration order."""
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
 
 
 def resolve_code(code, rate: str = "1/2"):

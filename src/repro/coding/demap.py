@@ -126,8 +126,9 @@ def demapper_names() -> list:
 
 
 def demapper_specs() -> dict:
-    """Snapshot of the registry (name -> demapper)."""
-    return dict(_REGISTRY)
+    """Name-sorted snapshot of the registry (name -> demapper),
+    deterministic regardless of registration order."""
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
 
 
 for _scheme in ("bpsk", "qpsk", "16qam"):

@@ -127,8 +127,9 @@ def interleaver_names() -> list:
 
 
 def interleaver_specs() -> dict:
-    """Snapshot of the registry (name -> factory)."""
-    return dict(_REGISTRY)
+    """Name-sorted snapshot of the registry (name -> factory),
+    deterministic regardless of registration order."""
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
 
 
 def build_interleaver(name: str, n: int, **params):

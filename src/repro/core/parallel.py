@@ -14,9 +14,13 @@ Robustness rules (all covered by tests):
 * batches below ``min_parallel_symbols`` run serially — fan-out overhead
   would swamp the win;
 * ``workers < 2`` never builds a pool;
-* any pool failure (spawn refusal, broken pool, pickling error) marks
-  the pool broken and falls back to the serial engine for the rest of
-  the engine's life — results are always produced.
+* any pool failure (spawn refusal, broken pool, a SIGKILLed worker,
+  pickling error) marks the pool broken and falls back to the serial
+  engine for the rest of the engine's life — results are always
+  produced.  The first failure emits a single :class:`RuntimeWarning`
+  and the engine carries ``degraded=True`` from then on; the facade
+  (:class:`repro.engines.Engine`) copies that marker onto every
+  subsequent :class:`~repro.engines.TransformResult`.
 
 Fixed-point bookkeeping survives sharding: workers report their
 overflow-count deltas, which are folded into the parent engine's
@@ -35,6 +39,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -131,6 +136,10 @@ class ShardedEngine:
         )
         self._pool = None
         self._pool_broken = False
+        # Graceful-degradation marker: set (with a single warning) the
+        # first time the pool fails; every later result is marked too.
+        self.degraded = False
+        self.degraded_reason = None
 
     @property
     def n_points(self) -> int:
@@ -184,9 +193,10 @@ class ShardedEngine:
                 pool.map(_run_transform_shard,
                          [(direction, shard) for shard in shards])
             )
-        except Exception:
-            # Broken pool / pickling trouble: never again, never fail.
-            self._mark_broken()
+        except Exception as exc:
+            # Broken pool / worker death / pickling trouble: never
+            # again, never fail — degrade to the serial path.
+            self._mark_broken(f"{type(exc).__name__}: {exc}")
             return self._run_serial(blocks, direction)
         out = np.concatenate([result[0] for result in results])
         if self.fixed_point:
@@ -213,12 +223,20 @@ class ShardedEngine:
                     initializer=_init_transform_worker,
                     initargs=(self.n_points, self.fixed_point),
                 )
-            except Exception:
-                self._mark_broken()
+            except Exception as exc:
+                self._mark_broken(f"pool spawn failed: {exc}")
         return self._pool
 
-    def _mark_broken(self) -> None:
+    def _mark_broken(self, reason: str = "pool failure") -> None:
         self._pool_broken = True
+        if not self.degraded:
+            self.degraded = True
+            self.degraded_reason = reason
+            warnings.warn(
+                f"sharded pool failed ({reason}); falling back to the "
+                f"serial engine for the rest of this engine's life",
+                RuntimeWarning, stacklevel=3,
+            )
         self.close()
 
     def close(self) -> None:

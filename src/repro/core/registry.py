@@ -154,7 +154,11 @@ def backend_names() -> list:
 
 
 def backend_specs() -> dict:
-    """Snapshot of the registry (name -> :class:`BackendSpec`)."""
+    """Name-sorted snapshot of the registry (name -> :class:`BackendSpec`).
+
+    Sorted so listings, error menus and their tests are deterministic
+    regardless of registration (import) order.
+    """
     if not _REGISTRY:
         _bootstrap()
-    return dict(_REGISTRY)
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}

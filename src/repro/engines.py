@@ -105,7 +105,9 @@ class TransformResult:
     flag says which).  ``stats`` is the :class:`SimStats` *delta* this
     call retired on the backend's machine (None for backends without
     one); ``overflow_count`` is the Q1.15 saturation-count delta (0 in
-    float).
+    float); ``degraded`` is True when the backend produced the result on
+    a fallback path (e.g. the sharded pool died and the batch ran
+    serially).
     """
 
     spectrum: np.ndarray
@@ -115,6 +117,7 @@ class TransformResult:
     cycles: list = field(default_factory=list)
     stats: SimStats = None
     overflow_count: int = 0
+    degraded: bool = False
 
     @property
     def n_symbols(self) -> int:
@@ -232,6 +235,7 @@ def concat_results(results, *, engine: "Engine" = None, n_points: int = None,
         cycles=[cycle for result in results for cycle in result.cycles],
         stats=_sum_sim_stats([result.stats for result in results]),
         overflow_count=sum(result.overflow_count for result in results),
+        degraded=any(result.degraded for result in results),
     )
 
 
@@ -322,6 +326,7 @@ class Engine:
             overflow_count=(
                 fx.overflow_count - overflow_before if fx is not None else 0
             ),
+            degraded=bool(getattr(self.impl, "degraded", False)),
         )
 
     def _as_batch(self, blocks) -> np.ndarray:
@@ -461,6 +466,11 @@ class _ShardedBackend:
     @property
     def fx(self):
         return self.sharded.engine.fx
+
+    @property
+    def degraded(self) -> bool:
+        """True once the pool has failed and batches run serially."""
+        return self.sharded.degraded
 
     def transform_many(self, blocks: np.ndarray) -> tuple:
         return self.sharded.transform_many(blocks), [0] * len(blocks)

@@ -139,7 +139,11 @@ def stage_names() -> list:
 
 
 def stage_specs() -> dict:
-    """Snapshot of the registry (name -> :class:`StageSpec`)."""
+    """Name-sorted snapshot of the registry (name -> :class:`StageSpec`).
+
+    Sorted so listings, error menus and their tests are deterministic
+    regardless of registration (import) order.
+    """
     if not _REGISTRY:
         _bootstrap()
-    return dict(_REGISTRY)
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}

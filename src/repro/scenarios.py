@@ -162,8 +162,9 @@ def scenario_names() -> list:
 
 
 def scenario_specs() -> dict:
-    """Snapshot of the registry (name -> :class:`ScenarioSpec`)."""
-    return dict(_REGISTRY)
+    """Name-sorted snapshot of the registry (name -> :class:`ScenarioSpec`),
+    deterministic regardless of registration order."""
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
 
 
 def build_scenario(name: str, **overrides) -> Pipeline:

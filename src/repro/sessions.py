@@ -35,6 +35,7 @@ results; :class:`~repro.asip.streaming.StreamingFFT` and
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 
 import numpy as np
@@ -196,7 +197,7 @@ class StreamSession:
 
     # Producer side -------------------------------------------------------
 
-    def feed(self, blocks, wait: float = None) -> int:
+    def feed(self, blocks, wait: float = None, timeout: float = None) -> int:
         """Queue one ``(N,)`` block or an iterable of them; returns count.
 
         Each accepted block is copied (producers may reuse one buffer).
@@ -204,9 +205,15 @@ class StreamSession:
         as one chunk.  If accepting a block would push
         :attr:`buffered_symbols` past ``capacity``, the session applies
         backpressure: with ``wait=None`` it raises
-        :class:`SessionBackpressure` at once; with a ``wait`` timeout
-        (seconds) it blocks until a consumer drains space or the timeout
-        expires (then raises).
+        :class:`SessionBackpressure` at once; with ``wait=True`` it
+        blocks until a consumer drains space — bounded by ``timeout``
+        seconds when given, so a producer whose consumer died raises
+        :class:`SessionBackpressure` after the deadline instead of
+        hanging forever.  A numeric ``wait`` is an alias for
+        ``wait=True, timeout=wait`` (the historical spelling).  Blocked
+        producers wait in short, doubling slices (bounded backoff) on
+        the session's condition variable, so :meth:`close` still wakes
+        them promptly via :class:`SessionClosed`.
 
         Feeds are multi-producer safe: appends and chunk cuts are
         serialised under the session's condition variable (chunks are
@@ -232,7 +239,7 @@ class StreamSession:
                 # Re-checked under the lock: a close() racing this feed
                 # either wins here (we refuse) or sees our append in
                 # its final flush — symbols are never silently dropped.
-                self._wait_for_room(wait)
+                self._wait_for_room(wait, timeout)
                 self._pending.append(np.array(block))
                 self._symbols_fed += 1
                 run_chunk = len(self._pending) >= self.batch
@@ -240,30 +247,59 @@ class StreamSession:
                 self._execute_pending()
         return len(blocks)
 
-    def _wait_for_room(self, wait: float) -> None:
+    #: bounded-backoff wait slices: start short (fast reaction to a
+    #: drain), double up to the cap (cheap when parked for a while).
+    _BACKOFF_INITIAL = 0.005
+    _BACKOFF_MAX = 0.25
+
+    def _wait_for_room(self, wait, timeout: float = None) -> None:
         # Caller holds self._cond.
         if self._closed or self._closing:
             raise SessionClosed(f"{self!r} is closed")
         if self.buffered_symbols < self.capacity:
             return
-        if wait is None:
+        # Normalise (wait, timeout) into one deadline in seconds (None =
+        # block until woken): wait=None/False never blocks, wait=True
+        # blocks bounded by timeout=, a numeric wait is its own timeout.
+        if wait is None or wait is False:
             raise SessionBackpressure(
                 f"session buffer full ({self.buffered_symbols}/"
                 f"{self.capacity} symbols); drain() finished chunks or "
                 f"feed with wait="
             )
-        ok = self._cond.wait_for(
-            lambda: self.buffered_symbols < self.capacity
-            or self._closed or self._closing,
-            timeout=wait,
-        )
-        if self._closed or self._closing:
-            raise SessionClosed(f"{self!r} closed while waiting to feed")
-        if not ok:
-            raise SessionBackpressure(
-                f"session buffer still full after waiting {wait} s "
-                f"({self.buffered_symbols}/{self.capacity} symbols)"
-            )
+        if wait is True:
+            budget = timeout
+        else:
+            budget = float(wait) if timeout is None \
+                else min(float(wait), float(timeout))
+        deadline = None if budget is None \
+            else time.monotonic() + max(budget, 0.0)
+        pause = self._BACKOFF_INITIAL
+
+        def roomy():
+            return (self.buffered_symbols < self.capacity
+                    or self._closed or self._closing)
+
+        while True:
+            if deadline is None:
+                slice_s = pause
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SessionBackpressure(
+                        f"session buffer still full after waiting "
+                        f"{budget} s ({self.buffered_symbols}/"
+                        f"{self.capacity} symbols)"
+                    )
+                slice_s = min(pause, remaining)
+            self._cond.wait_for(roomy, timeout=slice_s)
+            if self._closed or self._closing:
+                raise SessionClosed(
+                    f"{self!r} closed while waiting to feed"
+                )
+            if self.buffered_symbols < self.capacity:
+                return
+            pause = min(pause * 2.0, self._BACKOFF_MAX)
 
     def flush(self) -> None:
         """Execute the pending partial chunk now (no-op when empty).

@@ -1,0 +1,463 @@
+"""Seeded property fuzzing across every registered backend, with
+shrinking to a minimal reproducer.
+
+Four generator families, all driven by one ``numpy`` PCG64 stream so a
+``(kinds, n_cases, seed)`` triple replays exactly:
+
+* ``isa`` — random-but-safe ISA programs (ALU mix, word loads/stores in
+  a scratch region, forward branches to a common join, HALT) executed
+  on the predecoded ``Machine.run`` fast path *and* the
+  ``run_interpreted`` oracle of a twin machine; registers, statistics
+  and the touched memory window must match exactly.
+* ``engine`` — random ``(n_points, precision, symbols)`` transform
+  workloads diffed across **all** registered facade backends against
+  the ``compiled`` baseline via
+  :func:`~repro.verify.coexec.coexec_backends` (Q1.15 bit-exact,
+  overflow counts included; float to 1e-9).
+* ``scenario`` — a registered scenario preset with randomised
+  ``n_points``/``symbols`` overrides, run twice with the same seed on a
+  random backend pair; spectra and the received bits must agree.
+* ``coded`` — random coded-link parameters (code, puncture rate,
+  interleaver, constellation, SNR): encoder fast path vs the
+  shift-register oracle, interleave/deinterleave round trip, and the
+  vectorised Viterbi vs the per-state walk over the same noisy LLR
+  grid — all exact.
+
+A failing case is *shrunk* greedily: every registered reduction
+(halving symbol counts and sizes, dropping halves of a fuzzed program)
+is retried while the divergence persists, and the smallest still-failing
+config is reported alongside the original.  :func:`fuzz_backends`
+returns a :class:`FuzzReport`; the fixed-seed tier-1 smoke asserts its
+``ok``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .coexec import DivergenceReport, coexec_backends, coexec_viterbi
+
+__all__ = [
+    "FuzzCase",
+    "FuzzReport",
+    "FUZZ_KINDS",
+    "fuzz_backends",
+    "shrink_config",
+]
+
+FUZZ_KINDS = ("isa", "engine", "scenario", "coded")
+
+#: scratch word region the fuzzed ISA programs confine their
+#: loads/stores to (compared word by word after the run).
+_MEM_LO, _MEM_HI = 64, 192
+
+
+@dataclass
+class FuzzCase:
+    """One executed fuzz case and, on failure, its shrunk reproducer."""
+
+    kind: str
+    config: dict
+    report: DivergenceReport = None
+    minimal: dict = None
+
+    @property
+    def ok(self) -> bool:
+        return self.report is None
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one :func:`fuzz_backends` sweep."""
+
+    seed: int
+    cases: int = 0
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"fuzz: {self.cases} cases, 0 divergences (seed {self.seed})"
+        lines = [
+            f"fuzz: {self.cases} cases, {len(self.failures)} divergence(s) "
+            f"(seed {self.seed})"
+        ]
+        for case in self.failures:
+            lines.append(f"  [{case.kind}] {case.config}")
+            lines.append(f"    {case.report.describe()}")
+            if case.minimal is not None and case.minimal != case.config:
+                lines.append(f"    minimal reproducer: {case.minimal}")
+        return "\n".join(lines)
+
+
+# ISA program fuzzing ------------------------------------------------------
+
+_R_OPS = ("add", "sub", "mul", "mulh", "and", "or", "xor", "slt", "sllv")
+_I_OPS = ("addi", "andi", "ori", "xori", "slti")
+_SHIFT_OPS = ("sll", "srl", "sra")
+_BRANCH_OPS = ("beq", "bne", "blt", "bge")
+
+
+def _gen_isa(rng) -> dict:
+    length = int(rng.integers(6, 40))
+    ops = []
+    for _ in range(length):
+        roll = float(rng.random())
+        rd = int(rng.integers(1, 16))
+        rs = int(rng.integers(0, 16))
+        rt = int(rng.integers(0, 16))
+        if roll < 0.35:
+            ops.append((str(rng.choice(_R_OPS)), rd, rs, rt))
+        elif roll < 0.55:
+            imm = int(rng.integers(-200, 200))
+            ops.append((str(rng.choice(_I_OPS)), rd, rs, imm))
+        elif roll < 0.65:
+            ops.append((str(rng.choice(_SHIFT_OPS)), rd, rs,
+                        int(rng.integers(0, 31))))
+        elif roll < 0.75:
+            word = int(rng.integers(_MEM_LO, _MEM_HI))
+            ops.append(("sw", rs, word))
+        elif roll < 0.85:
+            word = int(rng.integers(_MEM_LO, _MEM_HI))
+            ops.append(("lw", rd, word))
+        elif roll < 0.92:
+            ops.append(("lui", rd, int(rng.integers(0, 1 << 16))))
+        else:
+            ops.append((str(rng.choice(_BRANCH_OPS)), rs, rt))
+    return {"ops": ops}
+
+
+def _build_isa_program(ops):
+    from ..isa.instructions import Opcode
+    from ..isa.program import ProgramBuilder
+
+    builder = ProgramBuilder("fuzz")
+    for op in ops:
+        kind = op[0]
+        if kind in _R_OPS:
+            builder.emit(Opcode(kind), rd=op[1], rs=op[2], rt=op[3])
+        elif kind in _I_OPS or kind in _SHIFT_OPS:
+            builder.emit(Opcode(kind), rt=op[1], rs=op[2], imm=op[3])
+        elif kind == "lui":
+            builder.emit(Opcode.LUI, rt=op[1], imm=op[2])
+        elif kind == "sw":
+            builder.emit(Opcode.SW, rt=op[1], rs=0, imm=op[2])
+        elif kind == "lw":
+            builder.emit(Opcode.LW, rt=op[1], rs=0, imm=op[2])
+        else:  # forward branch to the common join before HALT
+            builder.branch(Opcode(kind), rs=op[1], rt=op[2], target="join")
+    builder.label("join")
+    builder.halt()
+    return builder.build()
+
+
+def _run_isa(config) -> DivergenceReport:
+    from ..sim.machine import Machine
+    from ..sim.memory import MainMemory
+
+    program = _build_isa_program(config["ops"])
+    fast = Machine(MainMemory(256, float_mode=False))
+    oracle = Machine(MainMemory(256, float_mode=False))
+    fast.run(program)
+    oracle.run_interpreted(program)
+    names = ("machine-predecoded", "machine-interpreted")
+    for r in range(32):
+        va, vb = fast.read_reg(r), oracle.read_reg(r)
+        if va != vb:
+            return DivergenceReport(
+                kind="machine-state", backends=names,
+                step_index=fast.stats.instructions,
+                location={"register": r},
+                operands={"a": va, "b": vb},
+                message="end-of-run register mismatch",
+            )
+    for word in range(_MEM_LO, _MEM_HI):
+        va, vb = fast.memory.read_word(word), oracle.memory.read_word(word)
+        if va != vb:
+            return DivergenceReport(
+                kind="machine-state", backends=names,
+                step_index=fast.stats.instructions,
+                location={"memory_word": word},
+                operands={"a": va, "b": vb},
+                message="end-of-run memory mismatch",
+            )
+    sa, sb = fast.stats.as_dict(), oracle.stats.as_dict()
+    for key in sorted(set(sa) | set(sb)):
+        if sa.get(key) != sb.get(key):
+            return DivergenceReport(
+                kind="machine-state", backends=names,
+                step_index=fast.stats.instructions,
+                location={"stat": key},
+                operands={"a": sa.get(key), "b": sb.get(key)},
+                message="statistics mismatch",
+            )
+    return None
+
+
+# Engine backend fuzzing ---------------------------------------------------
+
+
+def _gen_engine(rng) -> dict:
+    return {
+        "n_points": int(rng.choice((16, 32, 64))),
+        "precision": str(rng.choice(("float", "q15"))),
+        "symbols": int(rng.integers(1, 5)),
+        "seed": int(rng.integers(0, 2**31)),
+    }
+
+
+def _run_engine(config) -> DivergenceReport:
+    from ..core.registry import backend_specs
+
+    baseline = "compiled"
+    for name, spec in backend_specs().items():
+        if name == baseline:
+            continue
+        if not spec.supports_precision(config["precision"]):
+            continue
+        result = coexec_backends(
+            config["n_points"], (baseline, name),
+            symbols=config["symbols"], precision=config["precision"],
+            seed=config["seed"],
+        )
+        if not result.ok:
+            return result.report
+    return None
+
+
+# Scenario fuzzing ---------------------------------------------------------
+
+
+def _gen_scenario(rng) -> dict:
+    from ..scenarios import scenario_names
+
+    return {
+        "scenario": str(rng.choice(scenario_names())),
+        "n_points": int(rng.choice((32, 64))),
+        "symbols": int(rng.integers(2, 4)),
+        "seed": int(rng.integers(0, 2**31)),
+        "backends": ("compiled", "reference"),
+    }
+
+
+def _run_scenario(config) -> DivergenceReport:
+    from ..scenarios import get_scenario
+
+    spec = get_scenario(config["scenario"])
+    results = []
+    for backend in config["backends"]:
+        with spec.build(backend=backend,
+                        n_points=config["n_points"]) as pipe:
+            results.append(pipe.run(symbols=config["symbols"],
+                                    seed=config["seed"]))
+    res_a, res_b = results
+    names = tuple(config["backends"])
+    tol = 0.0 if spec.precision == "q15" else 1e-9
+    if res_a.spectrum is not None and res_b.spectrum is not None:
+        err = np.abs(np.asarray(res_a.spectrum)
+                     - np.asarray(res_b.spectrum))
+        if err.size and float(err.max()) > tol:
+            sym, k = (int(i) for i in np.argwhere(err > tol)[0][:2])
+            return DivergenceReport(
+                kind="spectrum", backends=names, step_index=sym,
+                location={"scenario": config["scenario"], "symbol": sym,
+                          "bin": k},
+                operands={"a": complex(np.atleast_2d(res_a.spectrum)[sym, k]),
+                          "b": complex(np.atleast_2d(res_b.spectrum)[sym, k])},
+                max_error=float(err.max()),
+            )
+    bits_a, bits_b = res_a.rx_bits, res_b.rx_bits
+    if bits_a is not None and bits_b is not None \
+            and not np.array_equal(bits_a, bits_b):
+        diff = np.argwhere(np.asarray(bits_a) != np.asarray(bits_b))[0]
+        return DivergenceReport(
+            kind="spectrum", backends=names,
+            step_index=int(diff[0]),
+            location={"scenario": config["scenario"],
+                      "bit_index": tuple(int(i) for i in diff)},
+            operands={"a": int(np.asarray(bits_a)[tuple(diff)]),
+                      "b": int(np.asarray(bits_b)[tuple(diff)])},
+            message="received bits diverged between backends",
+        )
+    return None
+
+
+# Coded-link fuzzing -------------------------------------------------------
+
+
+def _gen_coded(rng) -> dict:
+    from ..coding import (
+        PUNCTURE_PATTERNS,
+        code_names,
+        demapper_names,
+        interleaver_names,
+    )
+
+    return {
+        "code": str(rng.choice(code_names())),
+        "rate": str(rng.choice(sorted(PUNCTURE_PATTERNS))),
+        "interleaver": str(rng.choice(interleaver_names())),
+        "constellation": str(rng.choice(demapper_names())),
+        "snr_db": float(rng.uniform(4.0, 14.0)),
+        "info_bits": int(rng.integers(16, 96)),
+        "seed": int(rng.integers(0, 2**31)),
+    }
+
+
+def _run_coded(config) -> DivergenceReport:
+    from ..coding import build_interleaver, get_code, get_demapper
+
+    rng = np.random.default_rng(config["seed"])
+    code = get_code(config["code"])
+    bits = rng.integers(0, 2, config["info_bits"]).astype(np.uint8)
+
+    # Encoder fast path vs the shift-register oracle (exact).
+    enc_fast = code.encode(bits)
+    enc_ref = code.encode_reference(bits)
+    if not np.array_equal(enc_fast, enc_ref):
+        k = int(np.argwhere(enc_fast != enc_ref)[0][0])
+        return DivergenceReport(
+            kind="machine-state",
+            backends=("encode-vectorized", "encode-reference"),
+            step_index=k, location={"coded_bit": k, **_coords(config)},
+            operands={"a": int(enc_fast[k]), "b": int(enc_ref[k])},
+        )
+
+    # Interleaver round trip (exact identity).  The block interleaver
+    # needs a depth-divisible payload, so pad as the coded chain does.
+    punctured = code.punctured(config["rate"])
+    coded = punctured.encode(bits)
+    pad = (-len(coded)) % 8
+    payload = np.concatenate([coded, np.zeros(pad, dtype=coded.dtype)]) \
+        if pad else coded
+    interleaver = build_interleaver(config["interleaver"], len(payload))
+    round_trip = interleaver.deinterleave(interleaver.interleave(payload))
+    if not np.array_equal(np.asarray(round_trip), payload):
+        k = int(np.argwhere(np.asarray(round_trip) != payload)[0][0])
+        return DivergenceReport(
+            kind="machine-state",
+            backends=(f"interleave-{config['interleaver']}", "identity"),
+            step_index=k, location={"position": k, **_coords(config)},
+            message="interleave/deinterleave round trip broke",
+        )
+
+    # Viterbi twins over the same noisy LLR grid (exact, ties included).
+    # Constellation/SNR shape the LLR magnitudes and noise floor.
+    demapper = get_demapper(config["constellation"])
+    scale = 4.0 / max(1, demapper.bits_per_symbol) \
+        if hasattr(demapper, "bits_per_symbol") else 4.0
+    sigma = float(10.0 ** (-config["snr_db"] / 20.0))
+    llr_flat = (1.0 - 2.0 * coded.astype(np.float64)) * scale
+    llr_flat = llr_flat + rng.normal(0.0, sigma * scale, llr_flat.shape)
+    grid = punctured.depuncture(llr_flat)
+    result = coexec_viterbi(code=code, llrs=grid)
+    if not result.ok:
+        result.report.location.update(_coords(config))
+        return result.report
+
+    dec_fast = punctured.decode(llr_flat)
+    dec_ref = punctured.decode(llr_flat, reference=True)
+    if not np.array_equal(dec_fast, dec_ref):
+        k = int(np.argwhere(dec_fast != dec_ref)[0][0])
+        return DivergenceReport(
+            kind="viterbi-step",
+            backends=("viterbi-vectorized", "viterbi-reference"),
+            step_index=k, location={"info_bit": k, **_coords(config)},
+            operands={"a": int(dec_fast[k]), "b": int(dec_ref[k])},
+        )
+    return None
+
+
+def _coords(config) -> dict:
+    return {key: config[key]
+            for key in ("code", "rate", "interleaver", "constellation")
+            if key in config}
+
+
+# Shrinking ----------------------------------------------------------------
+
+
+def _reductions(config: dict):
+    """Candidate smaller configs, most aggressive first."""
+    ops = config.get("ops")
+    if ops is not None and len(ops) > 1:
+        half = len(ops) // 2
+        yield {**config, "ops": ops[:half]}
+        yield {**config, "ops": ops[half:]}
+        yield {**config, "ops": ops[:-1]}
+    for key, floor in (("symbols", 1), ("info_bits", 8)):
+        value = config.get(key)
+        if isinstance(value, int) and value > floor:
+            yield {**config, key: max(floor, value // 2)}
+    n = config.get("n_points")
+    if isinstance(n, int) and n > 16:
+        yield {**config, "n_points": n // 2}
+
+
+def shrink_config(config: dict, run_case, max_rounds: int = 32) -> dict:
+    """Greedy shrink: keep applying the first reduction that still
+    reproduces a divergence; stop at a fixpoint (or the round cap)."""
+    current = dict(config)
+    for _ in range(max_rounds):
+        for candidate in _reductions(current):
+            try:
+                still_failing = run_case(candidate) is not None
+            except Exception:
+                still_failing = False  # reduction broke the case; skip
+            if still_failing:
+                current = candidate
+                break
+        else:
+            return current
+    return current
+
+
+# Driver -------------------------------------------------------------------
+
+_GENERATORS = {
+    "isa": (_gen_isa, _run_isa),
+    "engine": (_gen_engine, _run_engine),
+    "scenario": (_gen_scenario, _run_scenario),
+    "coded": (_gen_coded, _run_coded),
+}
+
+
+def fuzz_backends(n_cases: int = 20, seed: int = 0,
+                  kinds=FUZZ_KINDS, shrink: bool = True,
+                  log=None) -> FuzzReport:
+    """Run ``n_cases`` seeded fuzz cases round-robin over ``kinds``.
+
+    Deterministic for a fixed ``(n_cases, seed, kinds)``: the same
+    cases run in the same order with the same data.  Failures are
+    shrunk (unless ``shrink=False``) and collected in the returned
+    :class:`FuzzReport`.
+    """
+    kinds = tuple(kinds)
+    unknown = [kind for kind in kinds if kind not in _GENERATORS]
+    if unknown:
+        raise ValueError(
+            f"unknown fuzz kind(s) {unknown}; known kinds: "
+            f"{', '.join(FUZZ_KINDS)}"
+        )
+    rng = np.random.default_rng(seed)
+    report = FuzzReport(seed=seed)
+    for index in range(n_cases):
+        kind = kinds[index % len(kinds)]
+        generate, run = _GENERATORS[kind]
+        config = generate(rng)
+        divergence = run(config)
+        report.cases += 1
+        if divergence is None:
+            continue
+        case = FuzzCase(kind=kind, config=config, report=divergence)
+        if shrink:
+            case.minimal = shrink_config(config, run)
+        report.failures.append(case)
+        if log is not None:
+            log(f"[{kind}] divergence: {divergence.describe()}")
+    return report

@@ -29,8 +29,10 @@ def test_quick_benchmark_floors():
         f"quick benchmark floors violated:\n{result.stdout}\n{result.stderr}"
     )
     assert "quick" in result.stdout
-    # The streaming-session floor, the vectorised-Viterbi floor and the
-    # scenario-preset exercise run inside the gate.
+    # The streaming-session floor, the vectorised-Viterbi floor, the
+    # scenario-preset exercise and the co-execution overhead row all run
+    # inside the gate.
     assert "session" in result.stdout
     assert "viterbi" in result.stdout
     assert "quick scenario" in result.stdout
+    assert "quick coexec" in result.stdout

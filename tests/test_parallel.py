@@ -74,8 +74,11 @@ class TestShardedEngine:
         monkeypatch.setattr(
             "repro.core.parallel.ProcessPoolExecutor", refuse
         )
-        got = engine.transform_many(blocks)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            got = engine.transform_many(blocks)
         assert engine._pool_broken
+        assert engine.degraded
+        assert "no processes for you" in engine.degraded_reason
         assert np.array_equal(got, ArrayFFT(n).transform_many(blocks))
         # And it stays serial (no retry storm) while still being correct.
         again = engine.transform_many(blocks)
@@ -95,8 +98,50 @@ class TestShardedEngine:
                 pass
 
         engine._pool = ExplodingPool()
-        got = engine.transform_many(blocks)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            got = engine.transform_many(blocks)
         assert engine._pool_broken
+        assert engine.degraded
+        assert np.array_equal(got, ArrayFFT(n).transform_many(blocks))
+        engine.close()
+
+    def test_degradation_warns_exactly_once(self):
+        import warnings
+
+        n, symbols = 64, 16
+        blocks = random_blocks(symbols, n, seed=16)
+        engine = ShardedEngine(n, workers=2, min_parallel_symbols=8)
+        engine._pool_broken = False
+        with pytest.warns(RuntimeWarning, match="first failure"):
+            engine._mark_broken("first failure")  # the single warning
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            engine._mark_broken("second failure")
+            got = engine.transform_many(blocks)
+        assert engine.degraded_reason == "first failure"
+        assert np.array_equal(got, ArrayFFT(n).transform_many(blocks))
+        engine.close()
+
+    @pytest.mark.skipif(
+        available_workers() < 2,
+        reason="worker-kill race needs >= 2 CPUs (mirrors the sharded "
+               "bench gate)",
+    )
+    def test_sigkilled_worker_degrades_to_serial(self):
+        import os
+        import signal
+
+        n, symbols = 64, 32
+        blocks = random_blocks(symbols, n, seed=17)
+        engine = ShardedEngine(n, workers=2, min_parallel_symbols=8)
+        warm = engine.transform_many(blocks)  # spins the pool up
+        assert engine._pool is not None and not engine.degraded
+        victim = next(iter(engine._pool._processes))
+        os.kill(victim, signal.SIGKILL)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            got = engine.transform_many(blocks)
+        assert engine.degraded and engine._pool_broken
+        assert np.array_equal(got, warm)
         assert np.array_equal(got, ArrayFFT(n).transform_many(blocks))
         engine.close()
 
@@ -122,6 +167,51 @@ class TestShardedEngine:
 
     def test_available_workers_positive(self):
         assert available_workers() >= 1
+
+
+class TestDegradedMarker:
+    """A broken pool marks every later facade result ``degraded=True``."""
+
+    def test_marker_flows_through_facade_results(self):
+        import repro
+        from repro.verify import pool_failure
+
+        blocks = random_blocks(80, 64, seed=18)  # above the facade floor
+        with repro.engine(64, backend="sharded", workers=2) as eng:
+            with pool_failure(eng.impl.sharded):
+                with pytest.warns(RuntimeWarning, match="falling back"):
+                    broken = eng.transform_many(blocks)
+            assert broken.degraded
+            assert eng.impl.degraded
+            # Still numerically correct — the fallback ran serially.
+            assert np.array_equal(
+                broken.spectrum, ArrayFFT(64).transform_many(blocks)
+            )
+            # The engine stays degraded for life; later results carry it.
+            later = eng.transform_many(blocks[:4])
+            assert later.degraded
+
+    def test_healthy_results_are_not_degraded(self):
+        import repro
+
+        with repro.engine(64, backend="compiled") as eng:
+            result = eng.transform_many(random_blocks(4, 64, seed=19))
+        assert result.degraded is False
+
+    def test_concat_results_ors_the_marker(self):
+        import dataclasses
+
+        import repro
+
+        with repro.engine(16) as eng:
+            a = eng.transform_many(random_blocks(2, 16, seed=20))
+            b = eng.transform_many(random_blocks(2, 16, seed=21))
+        merged = repro.concat_results(
+            [a, dataclasses.replace(b, degraded=True)], engine=eng
+        )
+        assert merged.degraded
+        clean = repro.concat_results([a, b], engine=eng)
+        assert clean.degraded is False
 
 
 class TestArrayFftWrapper:

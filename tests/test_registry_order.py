@@ -1,0 +1,73 @@
+"""Deterministic registries: sorted menus and stable error messages.
+
+Every registry in the repo (facade backends, pipeline stages, scenario
+presets, codes, interleavers, demappers) must present its contents in
+name order regardless of registration order — so ``*_specs()``
+snapshots iterate deterministically and ``UnknownNameError`` menus are
+byte-stable across runs and re-registrations.
+"""
+
+import pytest
+
+from repro.coding.convolutional import code_names, code_specs, get_code
+from repro.coding.demap import demapper_names, demapper_specs, get_demapper
+from repro.coding.interleave import (
+    get_interleaver,
+    interleaver_names,
+    interleaver_specs,
+)
+from repro.core.registry import (
+    UnknownNameError,
+    backend_names,
+    backend_specs,
+    get_backend,
+)
+from repro.pipelines.registry import get_stage, stage_names, stage_specs
+from repro.scenarios import get_scenario, scenario_names, scenario_specs
+
+REGISTRIES = [
+    ("backend", backend_names, backend_specs, get_backend),
+    ("stage", stage_names, stage_specs, get_stage),
+    ("scenario", scenario_names, scenario_specs, get_scenario),
+    ("code", code_names, code_specs, get_code),
+    ("interleaver", interleaver_names, interleaver_specs, get_interleaver),
+    ("demapper", demapper_names, demapper_specs, get_demapper),
+]
+
+IDS = [row[0] for row in REGISTRIES]
+
+
+@pytest.mark.parametrize("label,names,specs,lookup", REGISTRIES, ids=IDS)
+def test_specs_iterate_in_name_order(label, names, specs, lookup):
+    snapshot = specs()
+    assert list(snapshot) == sorted(snapshot)
+    assert list(snapshot) == list(names())
+
+
+@pytest.mark.parametrize("label,names,specs,lookup", REGISTRIES, ids=IDS)
+def test_unknown_name_menu_is_sorted(label, names, specs, lookup):
+    with pytest.raises(UnknownNameError) as excinfo:
+        lookup("definitely-not-registered")
+    message = str(excinfo.value)
+    assert "definitely-not-registered" in message
+    # The menu embedded in the message is the full sorted name list.
+    assert ", ".join(names()) in message
+    assert names() == sorted(names())
+
+
+def test_specs_order_survives_unsorted_registration():
+    from repro.coding.demap import (
+        register_demapper,
+        unregister_demapper,
+    )
+
+    clean = get_demapper("qpsk")
+    try:
+        register_demapper("zz-last", clean, replace=True)
+        register_demapper("aa-first", clean, replace=True)
+        snapshot = list(demapper_specs())
+        assert snapshot == sorted(snapshot)
+        assert snapshot[0] == "16qam" and "zz-last" in snapshot
+    finally:
+        unregister_demapper("zz-last")
+        unregister_demapper("aa-first")

@@ -161,6 +161,30 @@ class TestBackpressure:
             producer.join(timeout=1.0)
             sess.close()
 
+    def test_wait_true_with_timeout_raises_after_deadline(self):
+        import time
+
+        sess = repro.session(16, batch=2, capacity=2)
+        sess.feed(_blocks(2, 16))  # buffer now full
+        started = time.perf_counter()
+        with pytest.raises(SessionBackpressure, match="after waiting"):
+            sess.feed(_blocks(1, 16), wait=True, timeout=0.08)
+        elapsed = time.perf_counter() - started
+        # Bounded: raised at the deadline, far below any hang.
+        assert 0.05 < elapsed < 5.0
+        sess.close()
+
+    def test_timeout_caps_a_numeric_wait(self):
+        import time
+
+        sess = repro.session(16, batch=2, capacity=2)
+        sess.feed(_blocks(2, 16))
+        started = time.perf_counter()
+        with pytest.raises(SessionBackpressure, match="after waiting"):
+            sess.feed(_blocks(1, 16), wait=30.0, timeout=0.05)
+        assert time.perf_counter() - started < 5.0
+        sess.close()
+
     def test_capacity_floor_is_batch(self):
         sess = repro.session(16, batch=8, capacity=1)
         assert sess.capacity == 8
@@ -252,6 +276,37 @@ class TestMultiProducer:
         expected = sorted(tag * 100 + k + 1 for tag in (1, 2)
                           for k in range(per_producer))
         assert seen == expected
+
+    def test_close_wakes_two_blocked_producers(self):
+        import time
+
+        sess = repro.session(16, batch=2, capacity=2)
+        sess.feed(_blocks(2, 16))  # buffer now full
+        outcomes = []
+        blocked = threading.Barrier(3, timeout=5.0)
+
+        def produce(tag):
+            blocked.wait()  # both producers walk into the full buffer
+            try:
+                sess.feed(_blocks(1, 16, seed=tag), wait=30.0)
+                outcomes.append((tag, "fed"))
+            except SessionClosed:
+                outcomes.append((tag, "closed"))
+
+        producers = [threading.Thread(target=produce, args=(tag,))
+                     for tag in (1, 2)]
+        for thread in producers:
+            thread.start()
+        blocked.wait()
+        time.sleep(0.05)  # let both enter the backoff wait
+        started = time.perf_counter()
+        sess.close()
+        for thread in producers:
+            thread.join(timeout=5.0)
+        assert not any(thread.is_alive() for thread in producers)
+        # Both woken by close's notify, well inside their 30 s budget.
+        assert time.perf_counter() - started < 5.0
+        assert sorted(outcomes) == [(1, "closed"), (2, "closed")]
 
     def test_flush_is_serialised_with_feeds(self):
         sess = repro.session(16, batch=4, capacity=16)

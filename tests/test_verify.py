@@ -1,0 +1,232 @@
+"""Co-execution, fault injection and fuzzing (repro.verify).
+
+Three layers of coverage:
+
+* clean lockstep runs over every runner — no false divergences;
+* the fault-injection self-test — every fault class in
+  ``FAULT_CLASSES`` must be *detected* and *localised to the injected
+  coordinates*, and the hooks must restore state on exit;
+* the seeded fuzzer — a fixed-seed smoke (the tier-1 acceptance
+  criterion: zero real divergences across all registered backends),
+  determinism, and the shrinker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.array_fft import ArrayFFT
+from repro.verify import (
+    FAULT_CLASSES,
+    FUZZ_KINDS,
+    branch_metric_flip,
+    coexec_asip,
+    coexec_backends,
+    coexec_fft,
+    coexec_viterbi,
+    demonstrate_fault,
+    fuzz_backends,
+    shrink_config,
+    twiddle_flip,
+)
+
+
+class TestCoexecClean:
+    """Lockstep runs over healthy twins report no divergence."""
+
+    def test_fft_float(self):
+        result = coexec_fft(64)
+        assert result.ok and result.report is None
+        assert result.steps > 0
+
+    def test_fft_q15(self):
+        assert coexec_fft(64, fixed_point=True).ok
+
+    def test_asip_lockstep(self):
+        result = coexec_asip(16)
+        assert result.ok
+        assert result.steps > 0  # instructions actually stepped
+
+    def test_asip_q15(self):
+        assert coexec_asip(16, fixed_point=True).ok
+
+    def test_viterbi_trellis(self):
+        result = coexec_viterbi(steps=24)
+        assert result.ok
+        assert result.steps == 24
+
+    def test_backend_pair(self):
+        result = coexec_backends(64, ("compiled", "reference"), symbols=4)
+        assert result.ok
+        assert result.steps == 4
+        assert result.seconds > 0
+
+    def test_backend_pair_q15(self):
+        assert coexec_backends(32, ("compiled", "asip"), symbols=2,
+                               precision="q15").ok
+
+    def test_backends_need_a_pair(self):
+        with pytest.raises(ValueError, match="two backends"):
+            coexec_backends(64, ("compiled",))
+
+    def test_fft_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            coexec_fft(a=ArrayFFT(32), b=ArrayFFT(64))
+
+
+class TestFaultLocalisation:
+    """Acceptance: every injected fault class is detected *and*
+    localised to the exact injected coordinates."""
+
+    @pytest.mark.parametrize("kind", FAULT_CLASSES)
+    def test_fault_detected(self, kind):
+        fault, result = demonstrate_fault(kind)
+        assert not result.ok, f"{kind}: harness missed {fault.describe()}"
+        assert result.report.backends  # a named backend pair
+        assert kind.split("-")[0] in fault.kind
+
+    def test_twiddle_localised_to_butterfly(self):
+        fault, result = demonstrate_fault("twiddle")
+        loc = result.report.location
+        assert result.report.kind == "fft-butterfly"
+        assert loc["phase"] == "epoch0"
+        assert loc["stage"] == fault.location["stage"] == 1
+        assert loc["butterfly"] == fault.location["butterfly"] == 2
+        # The diverging operand pair carries both sides' weights.
+        assert "weight_a" in result.report.operands
+
+    def test_branch_metric_localised_to_trellis_step(self):
+        fault, result = demonstrate_fault("branch-metric")
+        assert result.report.kind == "viterbi-step"
+        assert result.report.location["state"] == fault.location["state"]
+        assert result.report.location["mismatch"] == "metric"
+
+    def test_llr_sign_localised_to_bit(self):
+        fault, result = demonstrate_fault("llr-sign")
+        assert result.report.kind == "llr"
+        assert result.report.location["bit"] == fault.location["position"]
+        assert result.report.location["sign_flipped"] is True
+
+    def test_worker_shard_localised_to_symbol(self):
+        fault, result = demonstrate_fault("worker-shard")
+        assert result.report.kind == "spectrum"
+        assert result.report.location["symbol"] == fault.location["symbol"]
+
+    def test_asip_step_localised_to_instruction(self):
+        fault, result = demonstrate_fault("asip-step")
+        assert result.report.kind == "asip-instruction"
+        # at_step is 1-based; the diff surfaces after that instruction.
+        assert result.report.step_index == fault.location["at_step"] - 1
+        assert result.report.operands["register"] == \
+            fault.location["register"]
+        assert "opcode" in result.report.location
+
+    def test_unknown_fault_class_raises(self):
+        with pytest.raises(ValueError, match="unknown fault class"):
+            demonstrate_fault("cosmic-ray")
+
+    def test_twiddle_hook_restores_on_exit(self):
+        a = ArrayFFT(64, compiled=True)
+        b = ArrayFFT(64, compiled=False)
+        with twiddle_flip(a, epoch=0, stage=1, index=2):
+            assert not coexec_fft(a=a, b=b).ok
+        assert coexec_fft(a=a, b=b).ok  # tables restored
+
+    def test_branch_metric_hook_restores_on_exit(self):
+        from repro.coding.convolutional import get_code
+        from repro.coding.viterbi import ViterbiDecoder
+
+        a = ViterbiDecoder(get_code("conv-k3"))
+        b = ViterbiDecoder(get_code("conv-k3"))
+        with branch_metric_flip(a, state=1, branch=1):
+            assert not coexec_viterbi(a=a, b=b).ok
+        assert coexec_viterbi(a=a, b=b).ok
+
+
+class TestFuzz:
+    def test_fixed_seed_smoke(self):
+        # The tier-1 acceptance smoke: a fixed-seed sweep across every
+        # generator family and registered backend finds nothing.
+        report = fuzz_backends(8, seed=1234)
+        assert report.ok
+        assert report.cases == 8
+        assert "0 divergences" in report.summary()
+
+    def test_covers_all_kinds_round_robin(self):
+        report = fuzz_backends(len(FUZZ_KINDS), seed=3)
+        assert report.ok and report.cases == len(FUZZ_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz kind"):
+            fuzz_backends(2, kinds=("isa", "quantum"))
+
+    def test_generators_are_deterministic(self):
+        from repro.verify.fuzz import _gen_coded, _gen_isa
+
+        a = np.random.default_rng(7)
+        b = np.random.default_rng(7)
+        assert _gen_isa(a) == _gen_isa(b)
+        assert _gen_coded(a) == _gen_coded(b)
+
+    def test_shrink_reaches_the_floors(self):
+        from repro.verify.coexec import DivergenceReport
+
+        report = DivergenceReport(kind="spectrum", backends=("a", "b"),
+                                  step_index=0)
+        minimal = shrink_config(
+            {"n_points": 64, "symbols": 4, "seed": 1},
+            lambda config: report,  # never stops failing
+        )
+        assert minimal == {"n_points": 16, "symbols": 1, "seed": 1}
+
+    def test_shrink_keeps_failing_configs_only(self):
+        from repro.verify.coexec import DivergenceReport
+
+        report = DivergenceReport(kind="spectrum", backends=("a", "b"),
+                                  step_index=0)
+
+        def run_case(config):
+            # Fails only while symbols stays above 2: the shrinker must
+            # stop at 2, not push through to the floor of 1.
+            return report if config["symbols"] >= 2 else None
+
+        minimal = shrink_config({"symbols": 8, "seed": 0}, run_case)
+        assert minimal["symbols"] == 2
+
+
+class TestCli:
+    def test_fuzz_mode(self, capsys):
+        assert cli_main(["verify", "--fuzz", "4", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz: 4 cases, 0 divergences" in out
+
+    def test_inject_mode(self, capsys):
+        assert cli_main(["verify", "--inject", "twiddle"]) == 0
+        out = capsys.readouterr().out
+        assert "injected twiddle-flip" in out
+        assert "detected" in out
+
+    def test_coexec_mode(self, capsys):
+        assert cli_main(["verify", "--coexec", "uwb-ofdm",
+                         "--symbols", "2"]) == 0
+        assert "parity: OK" in capsys.readouterr().out
+
+    def test_exactly_one_mode_required(self):
+        with pytest.raises(SystemExit):
+            cli_main(["verify"])
+        with pytest.raises(SystemExit):
+            cli_main(["verify", "--fuzz", "2", "--inject", "twiddle"])
+
+    def test_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["verify", "--coexec", "not-a-scenario"])
+
+    def test_inject_choices_cover_fault_classes(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for kind in FAULT_CLASSES:
+            args = parser.parse_args(["verify", "--inject", kind])
+            assert args.inject == kind
+        with pytest.raises(SystemExit):
+            parser.parse_args(["verify", "--inject", "bogus"])
