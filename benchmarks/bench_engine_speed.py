@@ -40,6 +40,12 @@ Each run (quick included) also times the lockstep co-execution harness
 the same backend pair; quick mode records that overhead row in its own
 ``coexec_quick`` section of ``BENCH_engine.json``.
 
+Each run (quick included) also drives the serving tier with
+:func:`repro.serve.run_load` — concurrent tenants multiplexed over one
+pooled engine — and floors sessions/s while asserting zero shed at
+nominal load; quick mode records that row in its own ``serve_quick``
+section of ``BENCH_engine.json``.
+
 Run:     pytest benchmarks/bench_engine_speed.py -s
 Quick:   python benchmarks/bench_engine_speed.py --quick
          (small sizes, floors only, no trajectory write — the tier-1
@@ -71,6 +77,9 @@ FLOORS = {
     "session": 2.0,
     "sharded": 1.5,
     "viterbi": 5.0,
+    # Serving tier: sessions completed per second at nominal concurrent
+    # load (absolute rate, not a speedup ratio).
+    "serve": 2.0,
 }
 
 # Quick mode uses small sizes where constant overheads weigh more, so the
@@ -86,6 +95,10 @@ QUICK_FLOORS = {
     # The Viterbi reference is a pure-Python 64-state walk, so the 5x
     # contract holds at the same 1k-bit block size even in quick mode.
     "viterbi": 5.0,
+    # Serving tier sessions/s at the shrunk quick workload; generous
+    # floor — its job is to catch the serve tier grinding to a halt
+    # (lock convoy, leaked backoff sleeps), not to re-measure it.
+    "serve": 2.0,
 }
 
 SWEEP_SIZES = [256, 512, 1024, 2048]
@@ -330,6 +343,39 @@ def _time_coexec(n, symbols, reps=2):
     }
 
 
+def _time_serve(tenants, symbols, n, batch=8):
+    """Concurrent session-serving throughput at nominal load.
+
+    Drives ``tenants`` threaded producers through one
+    :class:`repro.serve.SessionServer` on a shared pooled engine via
+    :func:`repro.serve.run_load` (which also verifies every tenant's
+    merged spectrum against a serial ``np.fft.fft`` oracle).  The row
+    floors ``sessions_per_s`` and — because every tenant stays within
+    its own session capacity and drains as it feeds — asserts the
+    admission controller sheds *nothing* at nominal load.
+    """
+    from repro.serve import run_load
+
+    measure = run_load(tenants=tenants, symbols=symbols, n_points=n,
+                       batch=batch, deadline=30.0)
+    assert measure["ok"], (measure["errors"], measure["mismatches"])
+    return {
+        "tenants": tenants,
+        "symbols_per_tenant": symbols,
+        "n": n,
+        "batch": batch,
+        "sessions_per_s": measure["sessions_per_s"],
+        "symbols_per_s": measure["symbols_per_s"],
+        "latency_p50_ms": measure["latency_p50_ms"],
+        "latency_p99_ms": measure["latency_p99_ms"],
+        "shed": measure["shed"],
+        "backpressure": measure["backpressure"],
+        "timeouts": measure["timeouts"],
+        "pool_built": measure["pool_built"],
+        "pool_reused": measure["pool_reused"],
+    }
+
+
 def _facade_rows(n, symbols, reps=2):
     """Exercise every registered backend through the facade.
 
@@ -419,6 +465,8 @@ def collect_measurements(quick=False):
     results["facade"] = _facade_rows(facade_n, facade_symbols)
     coexec_n, coexec_symbols = (64, 8) if quick else (256, 32)
     results["coexec"] = _time_coexec(coexec_n, coexec_symbols)
+    serve_tenants, serve_symbols = (6, 32) if quick else (8, 64)
+    results["serve"] = _time_serve(serve_tenants, serve_symbols, n=64)
     return results
 
 
@@ -540,6 +588,21 @@ def test_facade_backend_rows(measurements):
         assert row["wall_ms"] > 0
 
 
+def test_serve_throughput_floor(measurements):
+    row = measurements["serve"]
+    print(f"\nserve {row['tenants']} tenants x "
+          f"{row['symbols_per_tenant']}x{row['n']}: "
+          f"{row['sessions_per_s']:.1f} sessions/s  "
+          f"p99 {row['latency_p99_ms']:.2f} ms  shed {row['shed']}")
+    assert row["sessions_per_s"] >= FLOORS["serve"]
+    # Nominal load: every tenant within capacity, draining as it feeds —
+    # the admission controller must not shed a single request.
+    assert row["shed"] == 0
+    assert row["timeouts"] == 0
+    # One engine built, every other tenant reused it from the cache.
+    assert row["pool_built"] == 1
+
+
 def test_trajectory_appends_history(measurements):
     assert RESULT_PATH.exists()
     stored = json.loads(RESULT_PATH.read_text())
@@ -592,9 +655,21 @@ def run_quick() -> int:
     print(f"quick coexec {co['symbols']}x{co['n']}: "
           f"bare {co['bare_ms']:.2f} ms -> lockstep {co['coexec_ms']:.2f} ms "
           f"({co['overhead']:.2f}x overhead)  ok")
+    # Serving tier: sessions/s floor plus zero shed at nominal load.
+    srv = results["serve"]
+    srv_floor = QUICK_FLOORS["serve"]
+    srv_ok = srv["sessions_per_s"] >= srv_floor and srv["shed"] == 0
+    if not srv_ok:
+        failed = True
+    print(f"quick serve {srv['tenants']} tenants x "
+          f"{srv['symbols_per_tenant']}x{srv['n']}: "
+          f"{srv['sessions_per_s']:6.1f} sessions/s "
+          f"(floor {srv_floor})  p99 {srv['latency_p99_ms']:.2f} ms  "
+          f"shed {srv['shed']}  {'ok' if srv_ok else 'FAIL'}")
     from repro.cli import record_backend_rows
 
     record_backend_rows(RESULT_PATH, "coexec_quick", [co])
+    record_backend_rows(RESULT_PATH, "serve_quick", [srv])
     return 1 if failed else 0
 
 

@@ -45,7 +45,10 @@ Public API layers underneath the facade:
 * :mod:`repro.analysis`   — tables, sweeps and verification helpers;
 * :mod:`repro.verify`     — differential co-execution, fault injection
   and seeded fuzzing across all of the above (``python -m repro
-  verify``).
+  verify``);
+* :mod:`repro.serve`      — the supervised multi-tenant serving tier:
+  named sessions over a shared engine pool with admission control,
+  deadlines and self-healing (``python -m repro serve``).
 """
 
 from .core import ArrayFFT, array_fft
@@ -73,9 +76,23 @@ from .scenarios import (
     run_scenario,
     scenario_names,
 )
-from .sessions import StreamSession, session
+from .sessions import (
+    SessionBackpressure,
+    SessionClosed,
+    SessionExecutionTimeout,
+    StreamSession,
+    session,
+)
+from .serve import (
+    ServeError,
+    ServerClosed,
+    ServerOverloaded,
+    SessionServer,
+    TenantFailed,
+    UnknownTenant,
+)
 
-__version__ = "3.2.0"
+__version__ = "3.3.0"
 
 __all__ = [
     "engine",
@@ -100,6 +117,15 @@ __all__ = [
     "run_scenario",
     "session",
     "StreamSession",
+    "SessionBackpressure",
+    "SessionClosed",
+    "SessionExecutionTimeout",
+    "SessionServer",
+    "ServeError",
+    "ServerClosed",
+    "ServerOverloaded",
+    "TenantFailed",
+    "UnknownTenant",
     "ArrayFFT",
     "array_fft",
     "__version__",

@@ -20,6 +20,11 @@ Usage::
                                         # lockstep co-execution parity
     python -m repro verify --inject <fault|all>
                                         # fault-injection self-test
+    python -m repro serve [--tenants T --symbols K --size N]
+                                        # multi-tenant serving demo + health
+    python -m repro serve --bench       # concurrent load generator
+                                        # (sessions/s + tail latency ->
+                                        # BENCH_engine.json)
     python -m repro listing --size N    # the generated program listing
 
 The transform-running subcommands (``fft``, ``stream``, ``bench``,
@@ -158,7 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "across a backend pair in lockstep")
     verify.add_argument("--inject", type=str, default=None,
                         choices=["twiddle", "branch-metric", "llr-sign",
-                                 "worker-shard", "asip-step", "all"],
+                                 "worker-shard", "asip-step",
+                                 "engine-stall", "all"],
                         help="inject one fault class (or every class) "
                              "and prove the harness localises it")
     verify.add_argument("--backends", type=str,
@@ -167,6 +173,31 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--symbols", type=int, default=8,
                         help="burst size for --coexec")
     verify.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="supervised multi-tenant session serving (demo or --bench "
+             "load generator)",
+    )
+    serve.add_argument("--tenants", type=int, default=8,
+                       help="concurrent tenant sessions to drive")
+    serve.add_argument("--symbols", type=int, default=64,
+                       help="symbols per tenant")
+    serve.add_argument("--size", type=int, default=64,
+                       help="FFT size per tenant session")
+    serve.add_argument("--batch", type=int, default=8,
+                       help="symbols per executed chunk")
+    serve.add_argument("--deadline", type=float, default=10.0,
+                       help="per-submit deadline in seconds")
+    serve.add_argument("--exec-timeout", type=float, default=None,
+                       help="per-chunk watchdog bound in seconds")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--bench", action="store_true",
+                       help="run the threaded load generator and record "
+                            "sessions/s + tail latency")
+    serve.add_argument("--record", type=str, default="BENCH_engine.json",
+                       help="JSON file receiving the --bench row "
+                            "('' disables the write)")
 
     listing = sub.add_parser("listing", help="show the generated program")
     listing.add_argument("--size", type=int, default=64)
@@ -568,6 +599,50 @@ def _cmd_verify(args) -> tuple:
     return "\n".join(lines), code
 
 
+def _cmd_serve(args) -> tuple:
+    """Returns ``(text, exit_code)``; non-zero when the load generator
+    saw errors, mismatches against the serial oracle, or shed load."""
+    from .serve import run_load
+
+    backend = args.backend or "compiled"
+    precision = _resolve_precision(args)
+    measure = run_load(
+        tenants=args.tenants, symbols=args.symbols, n_points=args.size,
+        backend=backend, precision=precision, batch=args.batch,
+        deadline=args.deadline, exec_timeout=args.exec_timeout,
+        seed=args.seed,
+    )
+    title = ("Serve load generator" if args.bench
+             else "Serve demo (threaded tenants, shared engine pool)")
+    body = [
+        ("tenants", measure["tenants"]),
+        ("symbols/tenant", measure["symbols_per_tenant"]),
+        ("backend", f"{backend} ({precision}, N={args.size})"),
+        ("sessions/s", f"{measure['sessions_per_s']:.1f}"),
+        ("symbols/s", f"{measure['symbols_per_s']:.0f}"),
+        ("chunk p50", f"{measure['latency_p50_ms']:.2f} ms"),
+        ("chunk p99", f"{measure['latency_p99_ms']:.2f} ms"),
+        ("shed / backpressure",
+         f"{measure['shed']} / {measure['backpressure']}"),
+        ("timeouts", measure["timeouts"]),
+        ("degraded transitions", measure["degraded_transitions"]),
+        ("pool built / reused",
+         f"{measure['pool_built']} / {measure['pool_reused']}"),
+        ("oracle check",
+         "ok" if measure["ok"] else f"FAILED {measure['errors']}"
+                                    f"{measure['mismatches']}"),
+    ]
+    out = render_table(["metric", "value"], body, title=title)
+    if args.bench and args.record:
+        row = {key: value for key, value in measure.items()
+               if key not in ("errors", "mismatches")}
+        record_backend_rows(Path(args.record), "serve_bench", [row])
+        out += f"\nrecorded -> {args.record}"
+    code = 0 if measure["ok"] and measure["shed"] == 0 \
+        and measure["timeouts"] == 0 else 1
+    return out, code
+
+
 def _cmd_listing(size: int) -> str:
     return generate_fft_program(size).listing()
 
@@ -600,6 +675,10 @@ def main(argv=None) -> int:
         print(_cmd_run(args))
     elif args.command == "verify":
         text, code = _cmd_verify(args)
+        print(text)
+        return code
+    elif args.command == "serve":
+        text, code = _cmd_serve(args)
         print(text)
         return code
     elif args.command == "listing":

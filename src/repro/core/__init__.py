@@ -1,6 +1,7 @@
 """The paper's core contribution: the scalable array-structured FFT."""
 
 from .array_fft import ArrayFFT, array_fft
+from .breaker import CircuitBreaker
 from .butterfly import BUOperands, ButterflyUnit, radix2_butterfly
 from .compiled import CompiledArrayFFT, CompiledStage
 from .interleaved import InterleavedArrayFFT
@@ -21,6 +22,7 @@ __all__ = [
     "ArrayFFT",
     "array_fft",
     "ShardedEngine",
+    "CircuitBreaker",
     "available_workers",
     "stream_sharded",
     "CompiledArrayFFT",

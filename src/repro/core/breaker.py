@@ -1,0 +1,171 @@
+"""Circuit breaker for self-healing degraded resources.
+
+:class:`CircuitBreaker` tracks the health of one recoverable resource
+(here: the :class:`~repro.core.parallel.ShardedEngine` worker pool)
+through the classic three-state protocol:
+
+* **closed** — healthy; attempts are allowed.
+* **open** — a failure was recorded; attempts are refused until a
+  capped-exponential backoff elapses (``backoff_initial * 2**(k-1)``
+  seconds after the *k*-th consecutive failure, capped at
+  ``backoff_max``).  Refused attempts cost one clock read — there is no
+  retry storm while the resource is known-bad.
+* **half-open** — the backoff elapsed; exactly one caller is admitted
+  as a probe.  If the probe succeeds (:meth:`record_success`) the
+  breaker closes and the failure count resets; if it fails the breaker
+  re-opens with a doubled backoff.
+
+The breaker is thread-safe (one internal lock; no callbacks held under
+it) and deliberately knows nothing about *what* it protects — callers
+ask :meth:`allow_attempt` before using the resource and report the
+outcome.  Counters for opened episodes (degraded transitions) and
+recoveries feed the serve tier's health registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Three-state (closed/open/half-open) breaker with capped backoff.
+
+    Parameters
+    ----------
+    backoff_initial:
+        Seconds to stay open after the first failure of an episode.
+    backoff_max:
+        Cap on the exponential backoff.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, backoff_initial: float = 0.5,
+                 backoff_max: float = 30.0, clock=time.monotonic):
+        self.backoff_initial = max(float(backoff_initial), 0.0)
+        self.backoff_max = max(float(backoff_max), self.backoff_initial)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0          # consecutive failures this episode
+        self._retry_at = 0.0        # clock time the next probe may run
+        self.last_failure_reason = None
+        #: fresh closed->open transitions (degraded episodes) so far.
+        self.opened_count = 0
+        #: open->closed recoveries (successful half-open probes) so far.
+        self.recovered_count = 0
+
+    # Introspection -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state name (``closed`` / ``open`` / ``half-open``)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures in the current episode (0 when closed)."""
+        with self._lock:
+            return self._failures
+
+    def snapshot(self) -> dict:
+        """One dict of state + counters for health registries."""
+        with self._lock:
+            retry_in = max(self._retry_at - self._clock(), 0.0) \
+                if self._state == self.OPEN else 0.0
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "retry_in_s": retry_in,
+                "opened": self.opened_count,
+                "recovered": self.recovered_count,
+                "last_failure": self.last_failure_reason,
+            }
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (f"CircuitBreaker({snap['state']}, "
+                f"failures={snap['failures']}, opened={snap['opened']}, "
+                f"recovered={snap['recovered']})")
+
+    # Protocol ------------------------------------------------------------
+
+    def allow_attempt(self) -> bool:
+        """May the caller use the resource right now?
+
+        Closed: yes.  Open: yes exactly once the backoff has elapsed
+        (the call itself transitions to half-open, admitting this
+        caller as the single probe); otherwise no.  Half-open: no — a
+        probe is already in flight.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN and self._clock() >= self._retry_at:
+                self._state = self.HALF_OPEN
+                return True
+            return False
+
+    def record_failure(self, reason: str = "failure") -> bool:
+        """Report a failed attempt; returns True on a *fresh* episode.
+
+        A fresh episode is the closed->open transition — the one moment
+        callers should emit their degradation warning.  Failed half-open
+        probes re-open silently with a doubled (capped) backoff.
+        """
+        with self._lock:
+            fresh = self._state == self.CLOSED
+            self._failures += 1
+            backoff = min(
+                self.backoff_initial * (2.0 ** (self._failures - 1)),
+                self.backoff_max,
+            )
+            self._retry_at = self._clock() + backoff
+            self._state = self.OPEN
+            self.last_failure_reason = reason
+            if fresh:
+                self.opened_count += 1
+            return fresh
+
+    def record_success(self) -> None:
+        """Report a successful attempt; closes the breaker.
+
+        A success after an open episode (the half-open probe worked)
+        counts as a recovery; successes while already closed are free.
+        """
+        with self._lock:
+            if self._state != self.CLOSED:
+                self.recovered_count += 1
+            self._state = self.CLOSED
+            self._failures = 0
+            self._retry_at = 0.0
+
+    def reset(self) -> None:
+        """Force-close and forget the current episode (test/admin hook)."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._retry_at = 0.0
+
+    def force_open(self, reason: str = "forced open") -> None:
+        """Force-open with the current backoff (test/admin hook)."""
+        with self._lock:
+            fresh = self._state == self.CLOSED
+            if fresh:
+                self._failures = max(self._failures, 1)
+                self.opened_count += 1
+            backoff = min(
+                self.backoff_initial * (2.0 ** (self._failures - 1)),
+                self.backoff_max,
+            )
+            self._retry_at = self._clock() + backoff
+            self._state = self.OPEN
+            self.last_failure_reason = reason

@@ -15,12 +15,19 @@ Robustness rules (all covered by tests):
   would swamp the win;
 * ``workers < 2`` never builds a pool;
 * any pool failure (spawn refusal, broken pool, a SIGKILLed worker,
-  pickling error) marks the pool broken and falls back to the serial
-  engine for the rest of the engine's life — results are always
-  produced.  The first failure emits a single :class:`RuntimeWarning`
-  and the engine carries ``degraded=True`` from then on; the facade
+  pickling error) opens a :class:`~repro.core.breaker.CircuitBreaker`
+  and falls back to the serial engine — results are always produced.
+  The first failure of an episode emits a single
+  :class:`RuntimeWarning` and the engine carries ``degraded=True``
+  while the breaker is open; the facade
   (:class:`repro.engines.Engine`) copies that marker onto every
-  subsequent :class:`~repro.engines.TransformResult`.
+  :class:`~repro.engines.TransformResult` produced meanwhile.  Unlike
+  the original broken-for-life flag, the breaker *self-heals*: after a
+  capped exponential backoff one batch is admitted as a half-open
+  probe on a freshly spawned pool, and a successful probe restores
+  parallel execution (clearing ``degraded``).  There is still no retry
+  storm — refused attempts inside the backoff window cost one clock
+  read and run serially.
 
 Fixed-point bookkeeping survives sharding: workers report their
 overflow-count deltas, which are folded into the parent engine's
@@ -45,6 +52,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from .array_fft import ArrayFFT
+from .breaker import CircuitBreaker
 
 __all__ = ["ShardedEngine", "available_workers", "stream_sharded"]
 
@@ -119,12 +127,23 @@ class ShardedEngine:
     min_parallel_symbols:
         Smallest batch worth fanning out (default
         :attr:`MIN_PARALLEL_SYMBOLS`); smaller batches run serially.
+    breaker_backoff_initial, breaker_backoff_max:
+        Circuit-breaker backoff window after a pool failure (seconds;
+        defaults :attr:`BREAKER_BACKOFF_INITIAL` /
+        :attr:`BREAKER_BACKOFF_MAX`).  The serve tier shortens these to
+        probe for recovery aggressively; the defaults keep a failed
+        batch workload serial for at least half a second so there is
+        never a retry storm.
     """
 
     MIN_PARALLEL_SYMBOLS = 64
+    BREAKER_BACKOFF_INITIAL = 0.5
+    BREAKER_BACKOFF_MAX = 30.0
 
     def __init__(self, n_points: int, fixed_point: bool = False,
-                 workers: int = None, min_parallel_symbols: int = None):
+                 workers: int = None, min_parallel_symbols: int = None,
+                 breaker_backoff_initial: float = None,
+                 breaker_backoff_max: float = None):
         self.engine = ArrayFFT(n_points, fixed_point=fixed_point)
         self.fixed_point = fixed_point
         self.workers = (
@@ -135,11 +154,40 @@ class ShardedEngine:
             else max(int(min_parallel_symbols), 1)
         )
         self._pool = None
-        self._pool_broken = False
-        # Graceful-degradation marker: set (with a single warning) the
-        # first time the pool fails; every later result is marked too.
-        self.degraded = False
+        # Pool health lives in a circuit breaker: a failure opens it
+        # (single warning, ``degraded=True``, serial fallback), a capped
+        # exponential backoff later one batch probes a fresh pool, and a
+        # successful probe restores parallel execution.
+        self.breaker = CircuitBreaker(
+            backoff_initial=self.BREAKER_BACKOFF_INITIAL
+            if breaker_backoff_initial is None else breaker_backoff_initial,
+            backoff_max=self.BREAKER_BACKOFF_MAX
+            if breaker_backoff_max is None else breaker_backoff_max,
+        )
         self.degraded_reason = None
+
+    @property
+    def degraded(self) -> bool:
+        """True while the breaker is open (serial fallback in effect).
+
+        Clears again once a half-open probe restores the pool;
+        ``breaker.opened_count`` keeps the episode history.
+        """
+        return self.breaker.state != CircuitBreaker.CLOSED
+
+    @property
+    def _pool_broken(self) -> bool:
+        # Compatibility spelling of "the breaker is not closed" — older
+        # callers (and the fault-injection hooks) read and write this
+        # flag directly.
+        return self.degraded
+
+    @_pool_broken.setter
+    def _pool_broken(self, value: bool) -> None:
+        if value:
+            self.breaker.force_open("marked broken")
+        else:
+            self.breaker.reset()
 
     @property
     def n_points(self) -> int:
@@ -178,8 +226,12 @@ class ShardedEngine:
                 f"expected an (n_symbols, {self.n_points}) matrix, "
                 f"got shape {blocks.shape}"
             )
-        if (self.workers < 2 or self._pool_broken
+        if (self.workers < 2
                 or len(blocks) < self.min_parallel_symbols):
+            return self._run_serial(blocks, direction)
+        if not self.breaker.allow_attempt():
+            # Open breaker inside its backoff window, or another thread
+            # already holds the half-open probe slot: stay serial.
             return self._run_serial(blocks, direction)
         pool = self._ensure_pool()
         if pool is None:
@@ -195,9 +247,11 @@ class ShardedEngine:
             )
         except Exception as exc:
             # Broken pool / worker death / pickling trouble: never
-            # again, never fail — degrade to the serial path.
+            # fail — degrade to the serial path until the breaker's
+            # backoff admits a fresh-pool probe.
             self._mark_broken(f"{type(exc).__name__}: {exc}")
             return self._run_serial(blocks, direction)
+        self.breaker.record_success()
         out = np.concatenate([result[0] for result in results])
         if self.fixed_point:
             self.engine.fx.overflow_count += sum(
@@ -215,7 +269,10 @@ class ShardedEngine:
     # Pool lifecycle -------------------------------------------------------
 
     def _ensure_pool(self):
-        if self._pool is None and not self._pool_broken:
+        # The breaker already admitted this attempt: build a pool
+        # whenever one is missing (first use, or a half-open probe
+        # after `_mark_broken` tore the dead one down).
+        if self._pool is None:
             try:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
@@ -228,25 +285,30 @@ class ShardedEngine:
         return self._pool
 
     def _mark_broken(self, reason: str = "pool failure") -> None:
-        self._pool_broken = True
-        if not self.degraded:
-            self.degraded = True
+        # `record_failure` is True only on the fresh closed->open
+        # transition — exactly one warning per degradation episode
+        # (failed half-open probes re-open silently, backoff doubled).
+        if self.breaker.record_failure(reason):
             self.degraded_reason = reason
             warnings.warn(
                 f"sharded pool failed ({reason}); falling back to the "
-                f"serial engine for the rest of this engine's life",
+                f"serial engine until a breaker probe succeeds",
                 RuntimeWarning, stacklevel=3,
             )
-        self.close()
+        self.close_pool()
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+    def close_pool(self) -> None:
+        """Tear the worker pool down without touching breaker state."""
         pool, self._pool = self._pool, None
         if pool is not None:
             try:
                 pool.shutdown(wait=False, cancel_futures=True)
             except Exception:  # pragma: no cover - best-effort teardown
                 pass
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self.close_pool()
 
     def __enter__(self) -> "ShardedEngine":
         return self

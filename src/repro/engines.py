@@ -285,6 +285,16 @@ class Engine:
         """The underlying :class:`FFTASIP` (None for array backends)."""
         return self.impl.machine
 
+    @property
+    def degraded(self) -> bool:
+        """True while the backend is on a fallback path right now.
+
+        Only the sharded backend ever degrades (circuit breaker open,
+        batches running serially); it heals itself, so this is a live
+        reading — per-result markers are on :class:`TransformResult`.
+        """
+        return bool(getattr(self.impl, "degraded", False))
+
     def __repr__(self) -> str:
         return (f"Engine(n_points={self.n_points}, "
                 f"backend={self.backend!r}, precision={self.precision!r})")
@@ -457,10 +467,14 @@ class _ShardedBackend:
     sim_stats = None
 
     def __init__(self, n_points: int, fixed_point: bool, workers: int,
-                 min_parallel_symbols: int = None):
+                 min_parallel_symbols: int = None,
+                 breaker_backoff_initial: float = None,
+                 breaker_backoff_max: float = None):
         self.sharded = ShardedEngine(
             n_points, fixed_point=fixed_point, workers=workers,
             min_parallel_symbols=min_parallel_symbols,
+            breaker_backoff_initial=breaker_backoff_initial,
+            breaker_backoff_max=breaker_backoff_max,
         )
 
     @property
@@ -469,7 +483,7 @@ class _ShardedBackend:
 
     @property
     def degraded(self) -> bool:
-        """True once the pool has failed and batches run serially."""
+        """True while the breaker is open and batches run serially."""
         return self.sharded.degraded
 
     def transform_many(self, blocks: np.ndarray) -> tuple:
@@ -706,9 +720,14 @@ def _make_reference(n_points, fixed_point, workers=None, batch=None):
 
 
 def _make_sharded(n_points, fixed_point, workers=None, batch=None,
-                  min_parallel_symbols=None):
-    return _ShardedBackend(n_points, fixed_point, workers,
-                           min_parallel_symbols=min_parallel_symbols)
+                  min_parallel_symbols=None, breaker_backoff_initial=None,
+                  breaker_backoff_max=None):
+    return _ShardedBackend(
+        n_points, fixed_point, workers,
+        min_parallel_symbols=min_parallel_symbols,
+        breaker_backoff_initial=breaker_backoff_initial,
+        breaker_backoff_max=breaker_backoff_max,
+    )
 
 
 def _make_asip(n_points, fixed_point, workers=None, batch=None,

@@ -1,0 +1,48 @@
+"""Structured errors of the serving tier.
+
+All serve errors derive from :class:`ServeError`, so callers can catch
+the tier with one clause; the split matters operationally:
+
+* :class:`ServerOverloaded` — admission control shed the request (the
+  global buffered-symbol budget would be exceeded).  Retriable after
+  draining; nothing was queued.
+* :class:`TenantFailed` — the tenant was retired by the supervisor (a
+  chunk deadline expired, its engine was disposed).  Its finished tail
+  stays drainable; new work needs a new session.
+* :class:`UnknownTenant` / :class:`ServerClosed` — caller errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "ServerClosed",
+    "ServerOverloaded",
+    "TenantFailed",
+    "UnknownTenant",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class of every serving-tier error."""
+
+
+class ServerClosed(ServeError):
+    """Raised when using a server after :meth:`SessionServer.close`."""
+
+
+class ServerOverloaded(ServeError):
+    """Raised when admission control sheds a request.
+
+    The global buffered-symbol budget was exhausted: accepting the
+    request would let producers outrun consumers unboundedly.  Nothing
+    was queued — the caller owns the retry (drain, back off, resubmit).
+    """
+
+
+class TenantFailed(ServeError):
+    """Raised when submitting to a tenant the supervisor has retired."""
+
+
+class UnknownTenant(ServeError):
+    """Raised when naming a tenant the server has never opened."""

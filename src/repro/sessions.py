@@ -46,7 +46,9 @@ from .engines import engine as build_engine
 __all__ = [
     "SessionBackpressure",
     "SessionClosed",
+    "SessionExecutionTimeout",
     "StreamSession",
+    "run_with_watchdog",
     "session",
 ]
 
@@ -61,6 +63,56 @@ class SessionBackpressure(RuntimeError):
     The producer is ahead of the consumer: drain finished chunks (or
     feed with ``wait=`` from a separate producer thread) and retry.
     """
+
+
+class SessionExecutionTimeout(RuntimeError):
+    """Raised when one engine chunk exceeds the session's ``exec_timeout``.
+
+    The watchdog cannot preempt the stuck engine call — the worker
+    thread is abandoned and keeps running — so after this error the
+    engine must be treated as poisoned: dispose of it (the serve tier's
+    supervisor does) rather than feeding it more work.
+    """
+
+
+def run_with_watchdog(fn, args=(), timeout: float = None,
+                      description: str = "engine call"):
+    """Run ``fn(*args)`` bounded by ``timeout`` seconds.
+
+    With ``timeout=None`` this is a plain call.  Otherwise ``fn`` runs
+    on a daemon thread; if it finishes in time its result (or raised
+    exception) propagates, and if it does not a structured
+    :class:`SessionExecutionTimeout` is raised while the stuck thread
+    is abandoned.  This turns a hung engine — a wedged worker pool, a
+    pathological input — into a bounded, reportable failure instead of
+    a silent hang, which is what lets the serve tier honour deadlines.
+    """
+    if timeout is None:
+        return fn(*args)
+    box = {}
+    done = threading.Event()
+
+    def _target():
+        try:
+            box["result"] = fn(*args)
+        except BaseException as exc:  # propagate to the caller
+            box["error"] = exc
+        finally:
+            done.set()
+
+    worker = threading.Thread(
+        target=_target, name="session-watchdog", daemon=True,
+    )
+    worker.start()
+    if not done.wait(max(float(timeout), 0.0)):
+        raise SessionExecutionTimeout(
+            f"{description} exceeded its {timeout} s deadline; the "
+            f"stuck call was abandoned and its engine should be "
+            f"disposed"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
 
 
 class StreamSession:
@@ -82,13 +134,26 @@ class StreamSession:
         reference (same tolerance rules as :meth:`Engine.stream`).
     own_engine:
         Close the engine when the session closes.
+    backoff_initial, backoff_max:
+        Wait-slice bounds (seconds) for producers blocked in
+        ``feed(..., wait=)``: slices start at ``backoff_initial`` and
+        double up to ``backoff_max`` (defaults
+        :attr:`_BACKOFF_INITIAL` / :attr:`_BACKOFF_MAX`).  The serve
+        tier shortens these so deadline-bounded feeds react to drains
+        quickly.
+    exec_timeout:
+        Bound (seconds) on each engine chunk execution, enforced by
+        :func:`run_with_watchdog`; a stuck chunk raises
+        :class:`SessionExecutionTimeout` instead of hanging the
+        session.  ``None`` (the default) trusts the engine.
     """
 
     DEFAULT_BATCH = 64
 
     def __init__(self, engine: Engine, batch: int = None,
                  capacity: int = None, verify: bool = False,
-                 own_engine: bool = False):
+                 own_engine: bool = False, backoff_initial: float = None,
+                 backoff_max: float = None, exec_timeout: float = None):
         self.engine = engine
         self.batch = max(int(batch or engine.batch or self.DEFAULT_BATCH), 1)
         self.capacity = (
@@ -97,6 +162,17 @@ class StreamSession:
         )
         self.verify = verify
         self._own_engine = own_engine
+        self.backoff_initial = (
+            self._BACKOFF_INITIAL if backoff_initial is None
+            else max(float(backoff_initial), 1e-4)
+        )
+        self.backoff_max = (
+            self._BACKOFF_MAX if backoff_max is None
+            else max(float(backoff_max), self.backoff_initial)
+        )
+        self.exec_timeout = (
+            None if exec_timeout is None else max(float(exec_timeout), 0.0)
+        )
         self._pending: list = []          # input blocks awaiting execution
         self._ready: deque = deque()      # finished TransformResults
         self._ready_symbols = 0
@@ -189,6 +265,29 @@ class StreamSession:
         if self._own_engine:
             self.engine.close()
 
+    def abort(self) -> int:
+        """Retire the session *without* flushing; returns dropped symbols.
+
+        The emergency exit :meth:`close` must not be: close flushes the
+        pending partial chunk through the engine, which is exactly
+        wrong when the engine just timed out or is otherwise poisoned.
+        ``abort`` discards pending input, keeps already-finished chunks
+        drainable, wakes all waiters, and closes an owned engine.
+        Idempotent, and safe after :meth:`close`.
+        """
+        with self._cond:
+            dropped = len(self._pending)
+            self._pending.clear()
+            self._closing = True
+            self._closed = True
+            self._cond.notify_all()
+        if self._own_engine:
+            try:
+                self.engine.close()
+            except Exception:  # engine may be mid-failure; best effort
+                pass
+        return dropped
+
     def __enter__(self) -> "StreamSession":
         return self
 
@@ -247,8 +346,10 @@ class StreamSession:
                 self._execute_pending()
         return len(blocks)
 
-    #: bounded-backoff wait slices: start short (fast reaction to a
-    #: drain), double up to the cap (cheap when parked for a while).
+    #: default bounded-backoff wait slices: start short (fast reaction
+    #: to a drain), double up to the cap (cheap when parked for a
+    #: while).  Per-session values are the ``backoff_initial`` /
+    #: ``backoff_max`` constructor knobs.
     _BACKOFF_INITIAL = 0.005
     _BACKOFF_MAX = 0.25
 
@@ -274,7 +375,7 @@ class StreamSession:
                 else min(float(wait), float(timeout))
         deadline = None if budget is None \
             else time.monotonic() + max(budget, 0.0)
-        pause = self._BACKOFF_INITIAL
+        pause = self.backoff_initial
 
         def roomy():
             return (self.buffered_symbols < self.capacity
@@ -299,7 +400,7 @@ class StreamSession:
                 )
             if self.buffered_symbols < self.capacity:
                 return
-            pause = min(pause * 2.0, self._BACKOFF_MAX)
+            pause = min(pause * 2.0, self.backoff_max)
 
     def flush(self) -> None:
         """Execute the pending partial chunk now (no-op when empty).
@@ -343,7 +444,14 @@ class StreamSession:
                 # so consumers can drain earlier chunks while this one
                 # computes.
                 try:
-                    result = self.engine.transform_many(chunk)
+                    result = run_with_watchdog(
+                        self.engine.transform_many, (chunk,),
+                        timeout=self.exec_timeout,
+                        description=(
+                            f"chunk of {take} symbols on "
+                            f"{self.engine.backend!r}"
+                        ),
+                    )
                     if self.verify:
                         self.engine._verify_chunk(
                             chunk, result.spectrum, symbols_before
@@ -419,16 +527,22 @@ class StreamSession:
 def session(n_points: int, *, backend: str = "compiled",
             precision: str = "float", workers: int = None,
             batch: int = None, capacity: int = None,
-            verify: bool = False, **options) -> StreamSession:
+            verify: bool = False, backoff_initial: float = None,
+            backoff_max: float = None, exec_timeout: float = None,
+            **options) -> StreamSession:
     """Open a :class:`StreamSession` on a fresh facade engine.
 
     The facade twin of :func:`repro.engine` for streaming workloads:
     same ``backend`` / ``precision`` / ``workers`` / ``batch``
-    parameters, plus the session's ``capacity`` bound and optional
-    per-chunk ``verify``.  The session owns the engine and closes it on
+    parameters, plus the session's ``capacity`` bound, optional
+    per-chunk ``verify``, producer backoff knobs and the ``exec_timeout``
+    watchdog bound.  The session owns the engine and closes it on
     :meth:`StreamSession.close` / context-manager exit.
     """
     eng = build_engine(n_points, backend=backend, precision=precision,
                        workers=workers, batch=batch, **options)
     return StreamSession(eng, batch=batch, capacity=capacity,
-                         verify=verify, own_engine=True)
+                         verify=verify, own_engine=True,
+                         backoff_initial=backoff_initial,
+                         backoff_max=backoff_max,
+                         exec_timeout=exec_timeout)

@@ -12,13 +12,14 @@ subsystem — ROADMAP item 3 — in three layers:
   :class:`~repro.verify.coexec.DivergenceReport`.
 * :mod:`~repro.verify.faults` — context-manager fault hooks (twiddle
   flip, branch-metric flip, LLR sign flip, corrupted worker shard,
-  instruction-level register corruption, pool death) used both to prove
-  the harness catches and localises every fault class and to drive the
-  graceful-degradation paths in the sharded engine and sessions.
+  instruction-level register corruption, pool death, engine stall)
+  used both to prove the harness catches and localises every fault
+  class and to drive the graceful-degradation paths in the sharded
+  engine, sessions and serving tier.
 * :mod:`~repro.verify.fuzz` — seeded property fuzzing (random ISA
-  programs, engine workloads, scenario configs, coded-link parameters)
-  across every registered backend, with shrinking to a minimal
-  reproducer.
+  programs, engine workloads, scenario configs, coded-link parameters,
+  multi-tenant serve workloads with injected pool faults) across every
+  registered backend, with shrinking to a minimal reproducer.
 
 CLI: ``python -m repro verify [--fuzz N --seed S | --coexec <scenario>
 --backends a,b | --inject <fault>]``.
@@ -40,6 +41,7 @@ from .faults import (
     asip_step_corruption,
     branch_metric_flip,
     demonstrate_fault,
+    engine_stall,
     llr_sign_flip,
     pool_failure,
     twiddle_flip,
@@ -67,6 +69,7 @@ __all__ = [
     "asip_step_corruption",
     "branch_metric_flip",
     "demonstrate_fault",
+    "engine_stall",
     "llr_sign_flip",
     "pool_failure",
     "twiddle_flip",

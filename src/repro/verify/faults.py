@@ -32,11 +32,17 @@ Fault classes
   instruction of one machine (instance-level ``step`` patch, honoured by
   ``Machine.run`` via its instrumentation seam).
 * :func:`pool_failure` — the sharded pool raises mid-``map`` (models a
-  worker death / pickling failure).
+  worker death / pickling failure; the engine's circuit breaker opens
+  and later self-heals).
+* :func:`engine_stall` — one engine/lease's ``transform_many`` hangs
+  (models a wedged pool or pathological input); the serving tier's
+  watchdog must convert it into a structured timeout localized to the
+  stalled tenant.
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -53,6 +59,7 @@ __all__ = [
     "worker_shard_corruption",
     "asip_step_corruption",
     "pool_failure",
+    "engine_stall",
     "demonstrate_fault",
 ]
 
@@ -256,12 +263,38 @@ def pool_failure(sharded, exc: Exception = None):
             sharded._pool_broken = saved_broken
 
 
+@contextmanager
+def engine_stall(engine, seconds: float = 30.0):
+    """Make ``engine.transform_many`` sleep ``seconds`` before executing
+    — the signature of a wedged worker pool or a pathological input.
+    Wraps the *instance* (a facade :class:`Engine` or a serve-tier
+    :class:`EngineLease`), so only sessions executing through it stall;
+    the serving watchdog must turn the stall into a
+    :class:`~repro.sessions.SessionExecutionTimeout` rather than a
+    hang."""
+    original = engine.transform_many
+
+    def stalled_transform_many(blocks):
+        time.sleep(seconds)
+        return original(blocks)
+
+    engine.transform_many = stalled_transform_many
+    try:
+        yield InjectedFault(
+            kind="engine-stall",
+            target=f"{type(engine).__name__}(N={engine.n_points})",
+            location={"seconds": seconds},
+        )
+    finally:
+        del engine.__dict__["transform_many"]
+
+
 # Self-test drivers --------------------------------------------------------
 
 #: the fault classes the acceptance criteria require the harness to
 #: detect *and* localise; each maps to a zero-argument demonstration.
 FAULT_CLASSES = ("twiddle", "branch-metric", "llr-sign", "worker-shard",
-                 "asip-step")
+                 "asip-step", "engine-stall")
 
 
 def demonstrate_fault(kind: str, seed: int = 0):
@@ -343,6 +376,54 @@ def demonstrate_fault(kind: str, seed: int = 0):
             result = coexec_machines(
                 a, b, program, atol=1e-9,
                 names=("asip-faulted", "asip-clean"))
+        return fault, result
+
+    if kind == "engine-stall":
+        from ..serve import SessionServer
+        from ..sessions import SessionExecutionTimeout
+        from .coexec import CoexecResult, DivergenceReport
+
+        rng = np.random.default_rng(seed)
+        blocks = (rng.standard_normal((4, 16))
+                  + 1j * rng.standard_normal((4, 16)))
+        start = time.perf_counter()
+        with SessionServer(batch=4, exec_timeout=0.2) as server:
+            stalled = server.open_session("stalled", 16)
+            server.open_session("clean", 16)
+            timeout_msg = None
+            with engine_stall(stalled.lease, seconds=1.0) as fault:
+                try:
+                    server.submit("stalled", blocks, deadline=5.0)
+                except SessionExecutionTimeout as exc:
+                    timeout_msg = str(exc)
+                # The clean tenant keeps serving while the stalled
+                # one's watchdog fires — localisation, not detection,
+                # is what this demonstration proves.
+                server.submit("clean", blocks, deadline=5.0)
+            tail = server.close_session("clean")
+            clean_spectra = np.concatenate([r.spectrum for r in tail])
+            clean_ok = np.allclose(
+                clean_spectra, np.fft.fft(blocks, axis=1), atol=1e-6,
+            )
+            timeouts = server.health()["tenants"]["stalled"]["timeouts"]
+        seconds = time.perf_counter() - start
+        detected = timeout_msg is not None and clean_ok and timeouts == 1
+        report = DivergenceReport(
+            kind="engine-stall",
+            backends=("tenant:stalled", "tenant:clean"),
+            step_index=0,
+            location={"tenant": "stalled", "exec_timeout_s": 0.2},
+            operands={"timeout": timeout_msg, "clean_ok": clean_ok,
+                      "recorded_timeouts": timeouts},
+            message="watchdog converted the stalled chunk into a "
+                    "structured timeout; the clean tenant kept serving "
+                    "bit-exact results",
+        ) if detected else None
+        result = CoexecResult(
+            kind="engine-stall",
+            backends=("serve:stalled", "serve:clean"),
+            steps=1, report=report, seconds=seconds,
+        )
         return fault, result
 
     raise ValueError(

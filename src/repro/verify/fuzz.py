@@ -1,7 +1,7 @@
 """Seeded property fuzzing across every registered backend, with
 shrinking to a minimal reproducer.
 
-Four generator families, all driven by one ``numpy`` PCG64 stream so a
+Five generator families, all driven by one ``numpy`` PCG64 stream so a
 ``(kinds, n_cases, seed)`` triple replays exactly:
 
 * ``isa`` — random-but-safe ISA programs (ALU mix, word loads/stores in
@@ -22,6 +22,14 @@ Four generator families, all driven by one ``numpy`` PCG64 stream so a
   shift-register oracle, interleave/deinterleave round trip, and the
   vectorised Viterbi vs the per-state walk over the same noisy LLR
   grid — all exact.
+* ``serve`` — a random multi-tenant serving workload (tenant count,
+  feed sizes, batch, deadlines, optionally one injected pool fault on
+  tenant 0) run deterministically through a
+  :class:`~repro.serve.server.SessionServer` and diffed per tenant
+  against the serial :class:`ArrayFFT` oracle: clean tenants must stay
+  bit-identical, an injected ``pool-failure`` must degrade (not
+  corrupt) only tenant 0, and an injected ``worker-shard`` corruption
+  must surface in tenant 0's spectrum alone.
 
 A failing case is *shrunk* greedily: every registered reduction
 (halving symbol counts and sizes, dropping halves of a fuzzed program)
@@ -47,7 +55,7 @@ __all__ = [
     "shrink_config",
 ]
 
-FUZZ_KINDS = ("isa", "engine", "scenario", "coded")
+FUZZ_KINDS = ("isa", "engine", "scenario", "coded", "serve")
 
 #: scratch word region the fuzzed ISA programs confine their
 #: loads/stores to (compared word by word after the run).
@@ -379,6 +387,132 @@ def _coords(config) -> dict:
             if key in config}
 
 
+# Serve-workload fuzzing ---------------------------------------------------
+
+_SERVE_INJECTIONS = ("none", "none", "pool-failure", "worker-shard")
+
+
+def _gen_serve(rng) -> dict:
+    return {
+        "tenants": int(rng.integers(2, 5)),
+        "n_points": int(rng.choice((16, 32))),
+        "symbols": int(rng.integers(4, 17)),
+        "batch": int(rng.integers(1, 5)),
+        "deadline": float(rng.uniform(2.0, 8.0)),
+        "inject": str(rng.choice(_SERVE_INJECTIONS)),
+        "seed": int(rng.integers(0, 2**31)),
+    }
+
+
+def _run_serve(config) -> DivergenceReport:
+    """Serve a random tenant mix and diff every tenant against the
+    serial oracle.
+
+    Tenant 0 rides the ``sharded`` backend when a fault is injected
+    (so the fault has a pool to hit) and ``compiled`` otherwise; other
+    tenants always share one pooled ``compiled`` engine.  Feeding is
+    sequential round-robin — no threads — so a ``(config)`` replays
+    bit-exactly.  The fault must be *observed where expected and
+    nowhere else*: any leak into a clean tenant, any corruption from a
+    fault that should only degrade, and any injected corruption that
+    fails to surface all return a :class:`DivergenceReport`.
+    """
+    import warnings as _warnings
+
+    from ..core.array_fft import ArrayFFT
+    from ..serve import SessionServer
+    from .faults import pool_failure, worker_shard_corruption
+
+    inject = config["inject"]
+    n = config["n_points"]
+    rng = np.random.default_rng(config["seed"])
+    names = [f"t{i}" for i in range(config["tenants"])]
+    streams = {
+        name: (rng.standard_normal((config["symbols"], n))
+               + 1j * rng.standard_normal((config["symbols"], n)))
+        for name in names
+    }
+    oracle = ArrayFFT(n)
+    collected = {name: [] for name in names}
+    with SessionServer(batch=config["batch"]) as server:
+        for index, name in enumerate(names):
+            if index == 0 and inject != "none":
+                # min_parallel_symbols=1 only for the pool-death case:
+                # the exploding pool never spawns processes, while the
+                # shard corruption wraps `transform_many` outermost and
+                # shows identically on the serial path — so the fuzzer
+                # never forks real worker pools.
+                server.open_session(
+                    name, n, backend="sharded", workers=2,
+                    min_parallel_symbols=(
+                        1 if inject == "pool-failure" else None
+                    ),
+                )
+            else:
+                server.open_session(name, n)
+        if inject == "pool-failure":
+            sharded = server._tenant(names[0]).lease.engine.impl.sharded
+            context = pool_failure(sharded)
+        elif inject == "worker-shard":
+            sharded = server._tenant(names[0]).lease.engine.impl.sharded
+            context = worker_shard_corruption(sharded, symbol=0)
+        else:
+            context = None
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore", RuntimeWarning)
+            if context is not None:
+                context.__enter__()
+            try:
+                step = max(config["batch"], 1)
+                for lo in range(0, config["symbols"], step):
+                    for name in names:
+                        server.submit(name, streams[name][lo:lo + step],
+                                      deadline=config["deadline"])
+                        collected[name].extend(server.drain(name))
+            finally:
+                if context is not None:
+                    context.__exit__(None, None, None)
+        for name in names:
+            collected[name].extend(server.close_session(name))
+        health = server.health()["tenants"]
+
+    backends = ("serve", "serial-oracle")
+    for index, name in enumerate(names):
+        got = np.concatenate([r.spectrum for r in collected[name]])
+        want = oracle.transform_many(streams[name])
+        exact = got.shape == want.shape and np.array_equal(got, want)
+        corrupted = index == 0 and inject == "worker-shard"
+        if exact == corrupted:
+            # Clean/degraded tenants must match exactly; the corrupted
+            # tenant must *not* (a match means the fault was missed).
+            err = np.abs(got - want) if got.shape == want.shape \
+                else np.array([np.inf])
+            return DivergenceReport(
+                kind="spectrum", backends=backends,
+                step_index=index,
+                location={"tenant": name, "inject": inject},
+                operands={"expected_corruption": corrupted},
+                max_error=float(err.max()) if err.size else 0.0,
+                message=("injected corruption never surfaced" if corrupted
+                         else "tenant diverged from the serial oracle"),
+            )
+        degraded = health[name]["degraded_transitions"]
+        if index == 0 and inject == "pool-failure" and degraded == 0:
+            return DivergenceReport(
+                kind="spectrum", backends=backends, step_index=index,
+                location={"tenant": name, "inject": inject},
+                message="pool failure never degraded the injected tenant",
+            )
+        if (index > 0 or inject != "pool-failure") and degraded != 0:
+            return DivergenceReport(
+                kind="spectrum", backends=backends, step_index=index,
+                location={"tenant": name, "inject": inject},
+                operands={"degraded_transitions": degraded},
+                message="degradation leaked into a clean tenant",
+            )
+    return None
+
+
 # Shrinking ----------------------------------------------------------------
 
 
@@ -390,7 +524,8 @@ def _reductions(config: dict):
         yield {**config, "ops": ops[:half]}
         yield {**config, "ops": ops[half:]}
         yield {**config, "ops": ops[:-1]}
-    for key, floor in (("symbols", 1), ("info_bits", 8)):
+    for key, floor in (("symbols", 1), ("info_bits", 8), ("tenants", 2),
+                       ("batch", 1)):
         value = config.get(key)
         if isinstance(value, int) and value > floor:
             yield {**config, key: max(floor, value // 2)}
@@ -424,6 +559,7 @@ _GENERATORS = {
     "engine": (_gen_engine, _run_engine),
     "scenario": (_gen_scenario, _run_scenario),
     "coded": (_gen_coded, _run_coded),
+    "serve": (_gen_serve, _run_serve),
 }
 
 

@@ -1,10 +1,13 @@
-"""Sharded parallel batch engine: bit-identity and fallback coverage."""
+"""Sharded parallel batch engine: bit-identity, fallback and self-healing."""
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.asip.streaming import StreamingFFT
-from repro.core import ArrayFFT, ShardedEngine, array_fft, stream_sharded
+from repro.core import ArrayFFT, CircuitBreaker, ShardedEngine, array_fft, \
+    stream_sharded
 from repro.engines import _SHARED_CACHE
 from repro.core.parallel import available_workers
 from repro.ofdm import MultipathChannel, OfdmLink
@@ -169,6 +172,191 @@ class TestShardedEngine:
         assert available_workers() >= 1
 
 
+class TestCircuitBreaker:
+    """The three-state protocol on an injected clock (no real sleeps)."""
+
+    def make(self, **kwargs):
+        self.now = 0.0
+        kwargs.setdefault("clock", lambda: self.now)
+        return CircuitBreaker(**kwargs)
+
+    def test_starts_closed_and_allows(self):
+        breaker = self.make()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow_attempt()
+        assert breaker.failures == 0
+
+    def test_failure_opens_and_refuses_inside_backoff(self):
+        breaker = self.make(backoff_initial=1.0)
+        assert breaker.record_failure("boom")  # fresh episode
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow_attempt()
+        self.now = 0.5
+        assert not breaker.allow_attempt()
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = self.make(backoff_initial=1.0)
+        breaker.record_failure("boom")
+        self.now = 1.0
+        assert breaker.allow_attempt()  # the single probe slot
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow_attempt()  # second caller refused
+
+    def test_successful_probe_closes_and_counts_recovery(self):
+        breaker = self.make(backoff_initial=1.0)
+        breaker.record_failure("boom")
+        self.now = 1.0
+        assert breaker.allow_attempt()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failures == 0
+        assert breaker.opened_count == 1
+        assert breaker.recovered_count == 1
+        assert breaker.allow_attempt()
+
+    def test_failed_probe_reopens_silently_with_doubled_backoff(self):
+        breaker = self.make(backoff_initial=1.0, backoff_max=16.0)
+        assert breaker.record_failure("first")    # fresh -> warn moment
+        self.now = 1.0
+        assert breaker.allow_attempt()
+        assert not breaker.record_failure("again")  # not fresh: no warning
+        # Second failure doubles the backoff: retry at now + 2.0.
+        self.now = 2.5
+        assert not breaker.allow_attempt()
+        self.now = 3.0
+        assert breaker.allow_attempt()
+
+    def test_backoff_is_capped(self):
+        breaker = self.make(backoff_initial=1.0, backoff_max=4.0)
+        for _ in range(10):
+            breaker.record_failure("boom")
+        assert breaker.snapshot()["retry_in_s"] <= 4.0
+
+    def test_snapshot_fields(self):
+        breaker = self.make(backoff_initial=1.0)
+        breaker.record_failure("boom")
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["failures"] == 1
+        assert snap["opened"] == 1
+        assert snap["recovered"] == 0
+        assert snap["last_failure"] == "boom"
+        assert snap["retry_in_s"] == pytest.approx(1.0)
+
+    def test_force_open_and_reset(self):
+        breaker = self.make()
+        breaker.force_open("admin")
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_count == 1
+        breaker.reset()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow_attempt()
+
+
+class TestPoolSelfHealing:
+    """The sharded engine's breaker restores parallel execution."""
+
+    def test_probe_restores_parallel_after_backoff(self):
+        n, symbols = 64, 32
+        blocks = random_blocks(symbols, n, seed=30)
+        want = ArrayFFT(n).transform_many(blocks)
+        engine = ShardedEngine(n, workers=2, min_parallel_symbols=8,
+                               breaker_backoff_initial=0.05)
+
+        class ExplodingPool:
+            def map(self, *args, **kwargs):
+                raise RuntimeError("worker died")
+
+            def shutdown(self, **kwargs):
+                pass
+
+        engine._pool = ExplodingPool()
+        try:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                got = engine.transform_many(blocks)
+            assert np.array_equal(got, want)
+            assert engine.degraded and engine._pool is None
+            # Inside the backoff window: serial, no pool build, no warning.
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                again = engine.transform_many(blocks)
+            assert np.array_equal(again, want)
+            assert engine._pool is None
+            # Past the backoff: one batch probes a *fresh* pool and the
+            # breaker closes — parallel execution is back, bit-identical.
+            time.sleep(0.06)
+            healed = engine.transform_many(blocks)
+            assert np.array_equal(healed, want)
+            assert not engine.degraded
+            assert engine._pool is not None
+            assert engine.breaker.state == CircuitBreaker.CLOSED
+            assert engine.breaker.opened_count == 1
+            assert engine.breaker.recovered_count == 1
+            # The first episode's reason survives for diagnostics.
+            assert "worker died" in engine.degraded_reason
+        finally:
+            engine.close()
+
+    def test_failed_probe_reopens_without_second_warning(self, monkeypatch):
+        import warnings
+
+        n, symbols = 64, 24
+        blocks = random_blocks(symbols, n, seed=31)
+        want = ArrayFFT(n).transform_many(blocks)
+        engine = ShardedEngine(n, workers=2, min_parallel_symbols=8,
+                               breaker_backoff_initial=0.05)
+
+        def refuse(*args, **kwargs):
+            raise OSError("still no processes")
+
+        monkeypatch.setattr(
+            "repro.core.parallel.ProcessPoolExecutor", refuse
+        )
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            got = engine.transform_many(blocks)
+        assert np.array_equal(got, want)
+        time.sleep(0.06)
+        # The probe's spawn fails again: silent re-open, serial result.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = engine.transform_many(blocks)
+        assert np.array_equal(again, want)
+        assert engine.degraded
+        assert engine.breaker.failures == 2
+        engine.close()
+
+    @pytest.mark.skipif(
+        available_workers() < 2,
+        reason="worker-kill recovery needs >= 2 CPUs (mirrors the "
+               "sharded bench gate)",
+    )
+    def test_sigkilled_worker_then_probe_recovers(self):
+        import os
+        import signal
+
+        n, symbols = 64, 32
+        blocks = random_blocks(symbols, n, seed=32)
+        engine = ShardedEngine(n, workers=2, min_parallel_symbols=8,
+                               breaker_backoff_initial=0.05)
+        try:
+            warm = engine.transform_many(blocks)
+            victim = next(iter(engine._pool._processes))
+            os.kill(victim, signal.SIGKILL)
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                got = engine.transform_many(blocks)
+            assert engine.degraded
+            assert np.array_equal(got, warm)
+            time.sleep(0.06)
+            healed = engine.transform_many(blocks)
+            assert np.array_equal(healed, warm)
+            assert not engine.degraded
+            assert engine.breaker.recovered_count == 1
+        finally:
+            engine.close()
+
+
 class TestDegradedMarker:
     """A broken pool marks every later facade result ``degraded=True``."""
 
@@ -187,7 +375,8 @@ class TestDegradedMarker:
             assert np.array_equal(
                 broken.spectrum, ArrayFFT(64).transform_many(blocks)
             )
-            # The engine stays degraded for life; later results carry it.
+            # Inside the breaker's backoff window the engine stays
+            # degraded; later results keep carrying the marker.
             later = eng.transform_many(blocks[:4])
             assert later.degraded
 

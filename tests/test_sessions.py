@@ -1,6 +1,7 @@
 """Streaming sessions: lifecycle, chunking, backpressure, parity."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -8,7 +9,13 @@ import pytest
 import repro
 from repro.asip.streaming import StreamingFFT
 from repro.core.parallel import stream_sharded
-from repro.sessions import SessionBackpressure, SessionClosed, StreamSession
+from repro.sessions import (
+    SessionBackpressure,
+    SessionClosed,
+    SessionExecutionTimeout,
+    StreamSession,
+    run_with_watchdog,
+)
 
 
 def _blocks(symbols, n, seed=0, scale=1.0):
@@ -228,6 +235,214 @@ class TestBackpressure:
         finally:
             producer.join(timeout=5.0)
         assert sum(c.n_symbols for c in chunks) == 6
+
+
+class TestResultsWaitThreaded:
+    """results(wait=) under a live producer thread (satellite coverage)."""
+
+    def test_timeout_expiry_mid_stream_stops_cleanly(self):
+        sess = repro.session(16, batch=2, capacity=8)
+        release = threading.Event()
+
+        def produce():
+            sess.feed(_blocks(2, 16, seed=1), wait=5.0)
+            release.wait(5.0)  # park: the consumer's wait= must expire
+            sess.feed(_blocks(2, 16, seed=2), wait=5.0)
+            sess.close()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        try:
+            got = []
+            started = time.perf_counter()
+            for chunk in sess.results(wait=0.15):
+                got.append(chunk)
+            elapsed = time.perf_counter() - started
+            # The first chunk arrived, then the wait expired mid-stream
+            # — the iterator returned instead of blocking forever.
+            assert sum(c.n_symbols for c in got) == 2
+            assert elapsed < 5.0
+            release.set()
+            producer.join(timeout=5.0)
+            # A fresh iterator picks the tail up after close.
+            tail = list(sess.results(wait=1.0))
+            assert sum(c.n_symbols for c in tail) == 2
+        finally:
+            release.set()
+            producer.join(timeout=1.0)
+            sess.close()
+
+    def test_drain_after_close_yields_full_tail(self):
+        sess = repro.session(16, batch=2, capacity=16)
+        done = threading.Event()
+
+        def produce():
+            sess.feed(_blocks(7, 16, seed=3), wait=5.0)
+            sess.close()  # flushes the odd symbol
+            done.set()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        try:
+            assert done.wait(5.0)
+            # Everything was executed before the consumer ever drained:
+            # the whole stream is the post-close tail.
+            chunks = list(sess.results(wait=1.0))
+            assert [c.n_symbols for c in chunks] == [2, 2, 2, 1]
+            assert list(sess.results(wait=0.05)) == []
+        finally:
+            producer.join(timeout=5.0)
+
+    def test_consumer_drain_wakes_blocked_producer(self):
+        sess = repro.session(16, batch=2, capacity=2)
+        sess.feed(_blocks(2, 16, seed=4))  # buffer now full
+        woken_at = []
+
+        def produce():
+            sess.feed(_blocks(1, 16, seed=5), wait=10.0)
+            woken_at.append(time.perf_counter())
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        try:
+            time.sleep(0.05)  # let the producer park in its backoff wait
+            started = time.perf_counter()
+            chunks = list(sess.results(wait=1.0))
+            assert sum(c.n_symbols for c in chunks) == 2
+            producer.join(timeout=5.0)
+            assert not producer.is_alive()
+            # Woken by the drain's notify, far inside the 10 s budget.
+            assert woken_at and woken_at[0] - started < 5.0
+        finally:
+            producer.join(timeout=1.0)
+            sess.close()
+
+
+class TestBackoffKnobs:
+    """Per-session producer backoff bounds (constructor satellites)."""
+
+    def test_defaults_match_class_constants(self):
+        with repro.session(16) as sess:
+            assert sess.backoff_initial == StreamSession._BACKOFF_INITIAL
+            assert sess.backoff_max == StreamSession._BACKOFF_MAX
+
+    def test_knobs_are_clamped_and_ordered(self):
+        with repro.session(16, backoff_initial=0.0,
+                           backoff_max=0.0) as sess:
+            assert sess.backoff_initial == pytest.approx(1e-4)
+            assert sess.backoff_max >= sess.backoff_initial
+        with repro.session(16, backoff_initial=0.02,
+                           backoff_max=0.01) as sess:
+            assert sess.backoff_max == pytest.approx(sess.backoff_initial)
+
+    def test_short_backoff_reacts_quickly_to_a_drain(self):
+        sess = repro.session(16, batch=2, capacity=2,
+                             backoff_initial=0.001, backoff_max=0.002)
+        sess.feed(_blocks(2, 16, seed=6))
+        fed = threading.Event()
+
+        def produce():
+            sess.feed(_blocks(1, 16, seed=7), wait=10.0)
+            fed.set()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        try:
+            time.sleep(0.05)
+            sess.drain()
+            # 1-2 ms wait slices: the producer notices the freed room
+            # orders of magnitude before its 10 s budget.
+            assert fed.wait(5.0)
+        finally:
+            producer.join(timeout=5.0)
+            sess.close()
+
+
+class TestWatchdog:
+    """run_with_watchdog + the session exec_timeout plumbing."""
+
+    def test_no_timeout_is_a_plain_call(self):
+        assert run_with_watchdog(lambda x: x + 1, (41,)) == 42
+
+    def test_fast_call_returns_result(self):
+        assert run_with_watchdog(lambda: "ok", timeout=5.0) == "ok"
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise ValueError("inner detail")
+
+        with pytest.raises(ValueError, match="inner detail"):
+            run_with_watchdog(boom, timeout=5.0)
+
+    def test_stuck_call_raises_structured_timeout(self):
+        release = threading.Event()
+        started = time.perf_counter()
+        with pytest.raises(SessionExecutionTimeout, match="deadline"):
+            run_with_watchdog(release.wait, (30.0,), timeout=0.05,
+                              description="stuck wait")
+        assert time.perf_counter() - started < 5.0
+        release.set()  # unpark the abandoned thread
+
+    def test_session_exec_timeout_fires_and_abort_recovers(self):
+        class StallingEngine:
+            n_points = 16
+            backend = "stall"
+            precision = "float"
+            batch = None
+
+            def __init__(self):
+                self.release = threading.Event()
+
+            def transform_many(self, blocks):
+                self.release.wait(30.0)
+                raise AssertionError("unreachable in this test")
+
+            def close(self):
+                pass
+
+        engine = StallingEngine()
+        sess = StreamSession(engine, batch=2, exec_timeout=0.05)
+        with pytest.raises(SessionExecutionTimeout, match="2 symbols"):
+            sess.feed(_blocks(2, 16, seed=8))
+        # The engine is poisoned: abort drops pending input without
+        # flushing anything more through it.
+        dropped = sess.abort()
+        assert dropped == 0
+        assert sess.closed
+        engine.release.set()
+
+    def test_abort_keeps_finished_tail_and_drops_pending(self):
+        sess = repro.session(16, batch=2)
+        sess.feed(_blocks(3, 16, seed=9))  # one chunk done, one pending
+        dropped = sess.abort()
+        assert dropped == 1
+        assert sess.closed
+        tail = sess.drain()
+        assert [r.n_symbols for r in tail] == [2]
+        with pytest.raises(SessionClosed):
+            sess.feed(_blocks(1, 16))
+        assert sess.abort() == 0  # idempotent
+
+    def test_abort_wakes_blocked_producer(self):
+        sess = repro.session(16, batch=2, capacity=2)
+        sess.feed(_blocks(2, 16, seed=10))
+        outcome = []
+
+        def produce():
+            try:
+                sess.feed(_blocks(1, 16, seed=11), wait=30.0)
+            except SessionClosed:
+                outcome.append("closed")
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        time.sleep(0.05)
+        started = time.perf_counter()
+        sess.abort()
+        producer.join(timeout=5.0)
+        assert not producer.is_alive()
+        assert time.perf_counter() - started < 5.0
+        assert outcome == ["closed"]
 
 
 class TestMultiProducer:

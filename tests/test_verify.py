@@ -121,6 +121,15 @@ class TestFaultLocalisation:
             fault.location["register"]
         assert "opcode" in result.report.location
 
+    def test_engine_stall_localised_to_tenant(self):
+        fault, result = demonstrate_fault("engine-stall")
+        assert result.report.kind == "engine-stall"
+        assert result.report.location["tenant"] == "stalled"
+        # The clean tenant on the same server kept serving bit-exact
+        # results while the stalled one's watchdog fired exactly once.
+        assert result.report.operands["clean_ok"] is True
+        assert result.report.operands["recorded_timeouts"] == 1
+
     def test_unknown_fault_class_raises(self):
         with pytest.raises(ValueError, match="unknown fault class"):
             demonstrate_fault("cosmic-ray")
