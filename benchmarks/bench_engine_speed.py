@@ -46,6 +46,13 @@ pooled engine — and floors sessions/s while asserting zero shed at
 nominal load; quick mode records that row in its own ``serve_quick``
 section of ``BENCH_engine.json``.
 
+Each run (quick included) also pins the **telemetry disabled-overhead
+rule**: the instrumented engine facade with no tracer installed must
+cost <= 2% over the bare datapath (floored), with the enabled-tracer
+cost recorded alongside as an informational column; quick mode records
+that row in its own ``telemetry_quick`` section of
+``BENCH_engine.json``.
+
 Run:     pytest benchmarks/bench_engine_speed.py -s
 Quick:   python benchmarks/bench_engine_speed.py --quick
          (small sizes, floors only, no trajectory write — the tier-1
@@ -67,6 +74,7 @@ from repro.asip.streaming import StreamingFFT
 from repro.core import ArrayFFT, ShardedEngine, available_workers
 from repro.core.registry import backend_names
 from repro.engines import benchmark_backends
+from repro.telemetry import atomic_write_json
 
 FLOORS = {
     "float": 10.0,
@@ -104,6 +112,13 @@ QUICK_FLOORS = {
 SWEEP_SIZES = [256, 512, 1024, 2048]
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 HISTORY_LIMIT = 200
+
+# Disabled-tracer ceiling: with no tracer installed the instrumented
+# facade may cost at most this ratio over the bare datapath.  The true
+# cost is one module-attribute load and a None check per batch call, so
+# 2% is generous — the floor exists to catch someone putting allocation
+# or clock reads on the disabled path.
+TELEMETRY_OVERHEAD_MAX = 1.02
 
 
 def _vector(n, seed=0, scale=1.0):
@@ -376,6 +391,72 @@ def _time_serve(tenants, symbols, n, batch=8):
     }
 
 
+def _time_telemetry(n, symbols, reps=5, inner_loops=4):
+    """Disabled-tracer overhead on the engine facade vs the bare path.
+
+    Times the same batch three ways through one warmed compiled engine:
+
+    * **bare** — ``Engine._run_many_inner``, the datapath as it existed
+      before the telemetry wrapper;
+    * **disabled** — ``Engine._run_many``, the instrumented facade with
+      no tracer installed (the default for every user who never asks
+      for a trace);
+    * **enabled** — the same facade under ``telemetry.trace`` (span
+      object + two clock reads + one locked append per batch),
+      recorded as an informational column.
+
+    Bare and disabled samples are interleaved and each sample runs the
+    batch ``inner_loops`` times, so scheduler noise on a small host
+    lands on both sides of the ratio.  The ``overhead`` column is
+    floored at :data:`TELEMETRY_OVERHEAD_MAX`.
+    """
+    import repro
+    from repro import telemetry
+
+    rng = np.random.default_rng(17)
+    blocks = rng.standard_normal((symbols, n)) + 1j * rng.standard_normal(
+        (symbols, n)
+    )
+    with repro.engine(n, backend="compiled") as eng:
+        batch = eng._as_batch(blocks)
+        eng.transform_many(blocks)  # warm the compiled tables
+        assert not telemetry.enabled()
+
+        def bare():
+            for _ in range(inner_loops):
+                eng._run_many_inner(batch)
+
+        def instrumented():
+            for _ in range(inner_loops):
+                eng._run_many(batch)
+
+        t_bare = t_disabled = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            bare()
+            dt = time.perf_counter() - t0
+            t_bare = dt if t_bare is None else min(t_bare, dt)
+            t0 = time.perf_counter()
+            instrumented()
+            dt = time.perf_counter() - t0
+            t_disabled = dt if t_disabled is None else min(t_disabled, dt)
+        with telemetry.trace("bench-telemetry") as tracer:
+            t_enabled = _best_of(instrumented, reps)
+            spans = len(tracer)
+        assert not telemetry.enabled()
+    calls = inner_loops
+    return {
+        "n": n,
+        "symbols": symbols,
+        "bare_ms": t_bare / calls * 1e3,
+        "disabled_ms": t_disabled / calls * 1e3,
+        "overhead": t_disabled / t_bare,
+        "enabled_ms": t_enabled / calls * 1e3,
+        "enabled_overhead": t_enabled / t_bare,
+        "spans": spans,
+    }
+
+
 def _facade_rows(n, symbols, reps=2):
     """Exercise every registered backend through the facade.
 
@@ -467,6 +548,8 @@ def collect_measurements(quick=False):
     results["coexec"] = _time_coexec(coexec_n, coexec_symbols)
     serve_tenants, serve_symbols = (6, 32) if quick else (8, 64)
     results["serve"] = _time_serve(serve_tenants, serve_symbols, n=64)
+    telemetry_n = 512 if quick else 1024
+    results["telemetry"] = _time_telemetry(telemetry_n, 64)
     return results
 
 
@@ -487,9 +570,9 @@ def record_trajectory(results, path=RESULT_PATH):
                 history = [{"date": "pre-history", **stored}]
     history.append(results)
     history = history[-HISTORY_LIMIT:]
-    path.write_text(
-        json.dumps({"latest": results, "history": history}, indent=2) + "\n"
-    )
+    # Atomic (tmp file + os.replace): a crashed or interrupted run must
+    # never leave a truncated trajectory behind.
+    atomic_write_json(path, {"latest": results, "history": history})
 
 
 # Pytest flow (full sizes, floors + trajectory) ---------------------------
@@ -603,6 +686,16 @@ def test_serve_throughput_floor(measurements):
     assert row["pool_built"] == 1
 
 
+def test_telemetry_disabled_overhead_floor(measurements):
+    row = measurements["telemetry"]
+    print(f"\ntelemetry {row['symbols']}x{row['n']}: "
+          f"bare {row['bare_ms']:.2f} ms -> disabled "
+          f"{row['disabled_ms']:.2f} ms ({row['overhead']:.3f}x)  "
+          f"enabled {row['enabled_ms']:.2f} ms "
+          f"({row['enabled_overhead']:.2f}x)")
+    assert row["overhead"] <= TELEMETRY_OVERHEAD_MAX
+
+
 def test_trajectory_appends_history(measurements):
     assert RESULT_PATH.exists()
     stored = json.loads(RESULT_PATH.read_text())
@@ -666,10 +759,27 @@ def run_quick() -> int:
           f"{srv['sessions_per_s']:6.1f} sessions/s "
           f"(floor {srv_floor})  p99 {srv['latency_p99_ms']:.2f} ms  "
           f"shed {srv['shed']}  {'ok' if srv_ok else 'FAIL'}")
+    # Telemetry disabled-overhead rule (floored): the instrumented
+    # facade with no tracer installed must be free.  One re-measure on
+    # failure — the ratio compares two near-identical millisecond
+    # timings, so a single scheduler hiccup must not fail the gate.
+    tel = results["telemetry"]
+    if tel["overhead"] > TELEMETRY_OVERHEAD_MAX:
+        tel = results["telemetry"] = _time_telemetry(tel["n"], tel["symbols"])
+    tel_ok = tel["overhead"] <= TELEMETRY_OVERHEAD_MAX
+    if not tel_ok:
+        failed = True
+    print(f"quick telemetry {tel['symbols']}x{tel['n']}: "
+          f"bare {tel['bare_ms']:.2f} ms -> disabled "
+          f"{tel['disabled_ms']:.2f} ms ({tel['overhead']:.3f}x, "
+          f"max {TELEMETRY_OVERHEAD_MAX}x)  enabled "
+          f"{tel['enabled_ms']:.2f} ms ({tel['enabled_overhead']:.2f}x)  "
+          f"{'ok' if tel_ok else 'FAIL'}")
     from repro.cli import record_backend_rows
 
     record_backend_rows(RESULT_PATH, "coexec_quick", [co])
     record_backend_rows(RESULT_PATH, "serve_quick", [srv])
+    record_backend_rows(RESULT_PATH, "telemetry_quick", [tel])
     return 1 if failed else 0
 
 

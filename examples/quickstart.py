@@ -9,6 +9,9 @@
    facade underneath every pipeline stage.
 3. Hardware level — ``hardware_report`` gives the gate/power/timing
    cost of the custom extension.
+4. Telemetry — ``repro.telemetry.trace()`` wraps any of the above in a
+   span tracer; export the result as a Chrome trace-event file
+   (Perfetto / chrome://tracing) or a console tree.
 
 Run:  python examples/quickstart.py
 """
@@ -79,6 +82,21 @@ def main():
         report.rows(),
         title="\nCustom hardware cost (P = 32 configuration)",
     ))
+
+    # --- 4. telemetry: trace a run ------------------------------------
+    # Any code between trace() enter/exit records nested spans —
+    # pipeline stages, engine transforms, Viterbi sub-phases — with
+    # zero overhead for everyone who never installs a tracer.
+    from repro.telemetry import get_exporter
+
+    with repro.telemetry.trace("quickstart") as tracer:
+        repro.run_scenario("uwb-ofdm-coded", symbols=4, n_points=256)
+    print("\n" + get_exporter("console").factory().render(tracer))
+    out = get_exporter("chrome-trace").factory().export(
+        tracer, "quickstart_trace.json",
+    )
+    print(f"open {out} in Perfetto or chrome://tracing "
+          f"({len(tracer)} spans); or: python -m repro trace uwb-ofdm")
 
 
 if __name__ == "__main__":

@@ -48,7 +48,11 @@ Public API layers underneath the facade:
   verify``);
 * :mod:`repro.serve`      — the supervised multi-tenant serving tier:
   named sessions over a shared engine pool with admission control,
-  deadlines and self-healing (``python -m repro serve``).
+  deadlines and self-healing (``python -m repro serve``);
+* :mod:`repro.telemetry`  — unified tracing, metrics and profiling:
+  nested spans across every layer above, Chrome trace-event /
+  jsonl / console exporters and span-aggregate regression checks
+  (``python -m repro trace``, ``--trace`` on run/serve/bench).
 """
 
 from .core import ArrayFFT, array_fft
@@ -91,8 +95,9 @@ from .serve import (
     TenantFailed,
     UnknownTenant,
 )
+from . import telemetry
 
-__version__ = "3.3.0"
+__version__ = "3.4.0"
 
 __all__ = [
     "engine",
@@ -128,5 +133,6 @@ __all__ = [
     "UnknownTenant",
     "ArrayFFT",
     "array_fft",
+    "telemetry",
     "__version__",
 ]

@@ -59,6 +59,8 @@ from .engines import benchmark_backends
 from .engines import engine as build_engine
 from .hw import hardware_report
 
+from . import telemetry
+
 __all__ = ["main", "build_parser"]
 
 
@@ -130,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--record", type=str, default="BENCH_engine.json",
                        help="JSON file receiving the per-backend rows "
                             "('' disables the write)")
+    bench.add_argument("--trace", type=str, default="", metavar="PATH",
+                       help="also record a Chrome trace-event file of "
+                            "the benchmark's spans")
 
     run = sub.add_parser(
         "run", parents=[common],
@@ -149,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--record", type=str, default="",
                      help="append this run's per-scenario rows to a "
                           "BENCH_engine.json-style file")
+    run.add_argument("--trace", type=str, default="", metavar="PATH",
+                     help="also record a Chrome trace-event file of the "
+                          "run's spans (pipeline stages, engine "
+                          "transforms, Viterbi sub-phases)")
 
     verify = sub.add_parser(
         "verify",
@@ -198,6 +207,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--record", type=str, default="BENCH_engine.json",
                        help="JSON file receiving the --bench row "
                             "('' disables the write)")
+    serve.add_argument("--trace", type=str, nargs="?", const="trace.json",
+                       default="", metavar="PATH",
+                       help="also record a Chrome trace-event file of "
+                            "per-tenant request spans (default PATH: "
+                            "trace.json)")
+
+    trace_cmd = sub.add_parser(
+        "trace", parents=[common],
+        help="run a scenario under the span tracer and export the "
+             "trace (chrome-trace/jsonl/console exporters)",
+    )
+    trace_cmd.add_argument("scenario",
+                           help="registered scenario name (see run "
+                                "--list)")
+    trace_cmd.add_argument("--symbols", type=int, default=None,
+                           help="burst size (default: the preset's)")
+    trace_cmd.add_argument("--size", type=int, default=None,
+                           help="override the preset's FFT size")
+    trace_cmd.add_argument("--seed", type=int, default=None)
+    trace_cmd.add_argument("--out", type=str, default="trace.json",
+                           help="output file for the exported trace")
+    trace_cmd.add_argument("--exporter", type=str, default="chrome-trace",
+                           help="registered exporter name "
+                                f"({', '.join(telemetry.exporter_names())})")
+    trace_cmd.add_argument("--instructions", type=int, default=0,
+                           metavar="N",
+                           help="also run an N-point interpreted ASIP "
+                                "FFT and merge its instruction timeline "
+                                "into the trace-event file")
+    trace_cmd.add_argument("--regress", type=str,
+                           default="BENCH_engine.json",
+                           help="bench file whose recorded stage history "
+                                "the run is compared against ('' "
+                                "disables the check)")
 
     listing = sub.add_parser("listing", help="show the generated program")
     listing.add_argument("--size", type=int, default=64)
@@ -425,7 +468,9 @@ def record_backend_rows(path: Path, section: str, rows: list) -> None:
     history = block.get("history", []) if isinstance(block, dict) else []
     history.append(entry)
     stored[section] = {"latest": entry, "history": history[-50:]}
-    path.write_text(json.dumps(stored, indent=2) + "\n")
+    # Atomic replace: a bench run racing a serve run must never leave a
+    # half-written history behind.
+    telemetry.atomic_write_json(path, stored)
 
 
 def _scenario_listing() -> str:
@@ -532,6 +577,84 @@ def _cmd_run(args) -> str:
         record_backend_rows(Path(args.record), "cli_run", rows)
         out += f"\nrecorded -> {args.record}"
     return out
+
+
+def _cmd_trace(args) -> tuple:
+    """Returns ``(text, exit_code)``: one scenario run under the tracer.
+
+    The scenario executes through the pipeline API with a fresh tracer
+    installed; the finished spans export through the chosen registered
+    exporter, the console summary tree prints either way, and the
+    ``stage.*`` aggregates are compared against the stage history
+    recorded in ``BENCH_engine.json`` (informational — a flagged stage
+    is reported, not fatal).
+    """
+    from .analysis.sweep import scenario_sweep
+    from .core.registry import UnknownNameError
+    from .scenarios import get_scenario
+
+    try:
+        spec = get_scenario(args.scenario)
+    except UnknownNameError as exc:
+        raise SystemExit(str(exc))
+    try:
+        exporter_spec = telemetry.get_exporter(args.exporter)
+    except UnknownNameError as exc:
+        raise SystemExit(str(exc))
+    overrides = dict(
+        backend=args.backend,
+        precision=args.precision,
+        workers=args.workers,
+        n_points=args.size,
+        symbols=args.symbols,
+        seed=args.seed,
+    )
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    with telemetry.trace(f"trace:{spec.name}") as tracer:
+        rows = scenario_sweep(names=[spec.name], **overrides)
+    extra_events = None
+    if args.instructions:
+        extra_events = _instruction_timeline(args.instructions)
+    exporter = exporter_spec.factory()
+    out_path = exporter.export(
+        tracer, Path(args.out), extra_events=extra_events,
+    )
+    if args.exporter == "chrome-trace":
+        telemetry.validate_trace_events(out_path.read_text())
+    row = rows[0]
+    lines = [
+        f"{spec.name}: {row['symbols']} symbols in "
+        f"{row['wall_ms']:.1f} ms on {row['backend']!r}",
+        telemetry.ConsoleExporter().render(tracer).rstrip(),
+    ]
+    if args.regress:
+        report = telemetry.compare_with_history(
+            tracer, spec.name, Path(args.regress),
+        )
+        lines.append(report.describe())
+    suffix = (f" (+{len(extra_events)} instruction events)"
+              if extra_events else "")
+    lines.append(
+        f"trace -> {out_path} ({len(tracer.finished())} spans, "
+        f"{args.exporter}){suffix}"
+    )
+    return "\n".join(lines), 0
+
+
+def _instruction_timeline(n_points: int) -> list:
+    """Instruction trace events from one interpreted N-point ASIP run."""
+    from .asip.fft_asip import FFTASIP
+    from .sim.trace import ExecutionTrace
+
+    machine = FFTASIP(n_points)
+    trace = ExecutionTrace(capacity=65536)
+    machine.step = trace.wrap(machine)
+    rng = np.random.default_rng(0)
+    machine.load_input(
+        rng.standard_normal(n_points) + 1j * rng.standard_normal(n_points)
+    )
+    machine.run_interpreted(generate_fft_program(n_points))
+    return trace.trace_events(tid=f"asip-{n_points}")
 
 
 def _cmd_verify(args) -> tuple:
@@ -648,8 +771,27 @@ def _cmd_listing(size: int) -> str:
 
 
 def main(argv=None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    A ``--trace PATH`` flag on ``run`` / ``bench`` / ``serve`` wraps
+    the whole command in a fresh tracer and exports the spans as a
+    Chrome trace-event file afterwards.
+    """
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", "") or ""
+    if not trace_path:
+        return _dispatch(args)
+    with telemetry.trace(args.command) as tracer:
+        code = _dispatch(args)
+    out = telemetry.get_exporter("chrome-trace").factory().export(
+        tracer, Path(trace_path),
+    )
+    telemetry.validate_trace_events(out.read_text())
+    print(f"trace -> {out} ({len(tracer.finished())} spans)")
+    return code
+
+
+def _dispatch(args) -> int:
     if args.command == "table1":
         print(_cmd_table1())
     elif args.command == "table2":
@@ -673,6 +815,10 @@ def main(argv=None) -> int:
         ))
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "trace":
+        text, code = _cmd_trace(args)
+        print(text)
+        return code
     elif args.command == "verify":
         text, code = _cmd_verify(args)
         print(text)

@@ -31,6 +31,8 @@ import numpy as np
 
 from .convolutional import ConvolutionalCode
 
+from .. import telemetry
+
 __all__ = ["ViterbiDecoder"]
 
 
@@ -84,26 +86,32 @@ class ViterbiDecoder:
         # explicit two-term sums — elementwise the same float
         # operations, in the same order, as the reference walk — so
         # the sequential loop below is pure gather/add/compare/select.
-        signs = self._signs[None, None, :, :, :]    # (1, 1, states, 2, n)
-        branch = (signs[..., 0]
-                  * flat[:, :, 0, None, None])      # (blocks, T, S, 2)
-        for j in range(1, self.code.n_outputs):
-            branch = branch + signs[..., j] * flat[:, :, j, None, None]
-        for t in range(steps):
-            cand = metrics[:, self._prev] + branch[:, t]
-            choose = cand[..., 1] > cand[..., 0]    # (blocks, states)
-            decisions[t] = choose
-            metrics = np.where(choose, cand[..., 1], cand[..., 0])
+        with telemetry.span("viterbi.branch-metrics", blocks=blocks,
+                            steps=steps, states=n_states):
+            signs = self._signs[None, None, :, :, :]  # (1,1,states,2,n)
+            branch = (signs[..., 0]
+                      * flat[:, :, 0, None, None])    # (blocks, T, S, 2)
+            for j in range(1, self.code.n_outputs):
+                branch = branch + signs[..., j] * flat[:, :, j, None, None]
+        with telemetry.span("viterbi.acs", blocks=blocks, steps=steps,
+                            states=n_states):
+            for t in range(steps):
+                cand = metrics[:, self._prev] + branch[:, t]
+                choose = cand[..., 1] > cand[..., 0]  # (blocks, states)
+                decisions[t] = choose
+                metrics = np.where(choose, cand[..., 1], cand[..., 0])
         # Terminated blocks end in state 0; walk the survivor path back.
-        state = np.zeros(blocks, dtype=np.intp)
-        bits = np.empty((blocks, steps), dtype=np.uint8)
-        rows = np.arange(blocks)
-        shift = self.code.memory - 1
-        for t in range(steps - 1, -1, -1):
-            bits[:, t] = (state >> shift).astype(np.uint8)
-            dropped = decisions[t, rows, state]
-            state = ((state << 1) & self._state_mask) | dropped
-        info = bits[:, :steps - self.code.memory]
+        with telemetry.span("viterbi.traceback", blocks=blocks,
+                            steps=steps):
+            state = np.zeros(blocks, dtype=np.intp)
+            bits = np.empty((blocks, steps), dtype=np.uint8)
+            rows = np.arange(blocks)
+            shift = self.code.memory - 1
+            for t in range(steps - 1, -1, -1):
+                bits[:, t] = (state >> shift).astype(np.uint8)
+                dropped = decisions[t, rows, state]
+                state = ((state << 1) & self._state_mask) | dropped
+            info = bits[:, :steps - self.code.memory]
         info = info.reshape(lead + (info.shape[-1],))
         return info[0] if squeeze else info
 

@@ -30,6 +30,19 @@ import time
 __all__ = ["CircuitBreaker"]
 
 
+def _emit(name: str, **attributes) -> None:
+    """Telemetry instant event for a state change (no-op when disabled).
+
+    Imported lazily so this leaf module adds nothing to ``repro.core``'s
+    import graph; transitions are rare, so the ``sys.modules`` hit is
+    irrelevant.  Called *outside* the breaker lock.
+    """
+    from .. import telemetry
+
+    if telemetry.enabled():
+        telemetry.event(name, **attributes)
+
+
 class CircuitBreaker:
     """Three-state (closed/open/half-open) breaker with capped backoff.
 
@@ -111,8 +124,12 @@ class CircuitBreaker:
                 return True
             if self._state == self.OPEN and self._clock() >= self._retry_at:
                 self._state = self.HALF_OPEN
-                return True
-            return False
+                probing = True
+            else:
+                return False
+        if probing:
+            _emit("breaker.half-open")
+        return True
 
     def record_failure(self, reason: str = "failure") -> bool:
         """Report a failed attempt; returns True on a *fresh* episode.
@@ -124,6 +141,7 @@ class CircuitBreaker:
         with self._lock:
             fresh = self._state == self.CLOSED
             self._failures += 1
+            failures = self._failures
             backoff = min(
                 self.backoff_initial * (2.0 ** (self._failures - 1)),
                 self.backoff_max,
@@ -133,7 +151,10 @@ class CircuitBreaker:
             self.last_failure_reason = reason
             if fresh:
                 self.opened_count += 1
-            return fresh
+        # Outside the lock (the class promise: no callbacks held under it).
+        _emit("breaker.open", reason=reason, fresh=fresh,
+              failures=failures, backoff_s=backoff)
+        return fresh
 
     def record_success(self) -> None:
         """Report a successful attempt; closes the breaker.
@@ -142,11 +163,14 @@ class CircuitBreaker:
         counts as a recovery; successes while already closed are free.
         """
         with self._lock:
-            if self._state != self.CLOSED:
+            recovered = self._state != self.CLOSED
+            if recovered:
                 self.recovered_count += 1
             self._state = self.CLOSED
             self._failures = 0
             self._retry_at = 0.0
+        if recovered:
+            _emit("breaker.closed", recovered=True)
 
     def reset(self) -> None:
         """Force-close and forget the current episode (test/admin hook)."""
@@ -169,3 +193,4 @@ class CircuitBreaker:
             self._retry_at = self._clock() + backoff
             self._state = self.OPEN
             self.last_failure_reason = reason
+        _emit("breaker.open", reason=reason, fresh=fresh, forced=True)

@@ -54,6 +54,8 @@ import numpy as np
 from .array_fft import ArrayFFT
 from .breaker import CircuitBreaker
 
+from .. import telemetry
+
 __all__ = ["ShardedEngine", "available_workers", "stream_sharded"]
 
 
@@ -241,10 +243,15 @@ class ShardedEngine:
             if len(shard)
         ]
         try:
-            results = list(
-                pool.map(_run_transform_shard,
-                         [(direction, shard) for shard in shards])
-            )
+            with telemetry.span(
+                "sharded.dispatch", workers=self.workers,
+                shards=len(shards), symbols=len(blocks),
+                direction=direction,
+            ):
+                results = list(
+                    pool.map(_run_transform_shard,
+                             [(direction, shard) for shard in shards])
+                )
         except Exception as exc:
             # Broken pool / worker death / pickling trouble: never
             # fail — degrade to the serial path until the breaker's

@@ -51,6 +51,8 @@ from .core.registry import (
 )
 from .sim.stats import SimStats
 
+from . import telemetry
+
 __all__ = [
     "Engine",
     "TransformResult",
@@ -321,6 +323,16 @@ class Engine:
 
     def _run_many(self, blocks: np.ndarray) -> TransformResult:
         self._ensure_open()
+        if not telemetry.enabled():
+            return self._run_many_inner(blocks)
+        with telemetry.span(
+            "engine.transform", backend=self.backend,
+            precision=self.precision, n_points=self.n_points,
+            symbols=len(blocks),
+        ):
+            return self._run_many_inner(blocks)
+
+    def _run_many_inner(self, blocks: np.ndarray) -> TransformResult:
         fx = self.impl.fx
         stats = self.impl.sim_stats
         overflow_before = fx.overflow_count if fx is not None else 0

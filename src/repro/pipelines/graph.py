@@ -36,6 +36,8 @@ from ..engines import TransformResult
 from ..engines import engine as build_engine
 from ..ofdm.modulation import CONSTELLATIONS
 from .registry import build_stage
+
+from .. import telemetry
 from .stages import PipelineContext
 
 __all__ = [
@@ -427,17 +429,29 @@ class Pipeline:
         )
         outputs = {}
         stage_seconds = {}
-        for stage in self._stages:
-            started = time.perf_counter()
-            data = stage.run(ctx, data)
-            elapsed = time.perf_counter() - started
-            key = stage.name
-            serial = 2
-            while key in outputs:
-                key = f"{stage.name}#{serial}"
-                serial += 1
-            outputs[key] = data
-            stage_seconds[key] = elapsed
+        with telemetry.span(
+            "pipeline.run", pipeline=self.name, backend=self.backend,
+            n_points=cfg["n_points"], symbols=count,
+        ):
+            for stage in self._stages:
+                started = time.perf_counter()
+                with telemetry.span(f"stage.{stage.name}") as stage_span:
+                    data = stage.run(ctx, data)
+                key = stage.name
+                serial = 2
+                while key in outputs:
+                    key = f"{stage.name}#{serial}"
+                    serial += 1
+                # stage_seconds is a compat view: when tracing, it is
+                # *derived from the span* so both reports agree exactly;
+                # when disabled, the perf_counter fallback fills it.
+                if stage_span.is_recording:
+                    stage_span.set("stage", key)
+                    elapsed = stage_span.duration
+                else:
+                    elapsed = time.perf_counter() - started
+                outputs[key] = data
+                stage_seconds[key] = elapsed
         # Per-stage wall clock rides in the metrics dictionary so every
         # consumer of the result (CLI --record rows, sweeps, benches)
         # sees where the run's time went.

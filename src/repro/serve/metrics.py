@@ -12,22 +12,12 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
+
+# The quantile rule and the latency window live in the shared metrics
+# core now; ``percentile`` stays re-exported here for compatibility.
+from ..telemetry.metrics import Histogram, percentile
 
 __all__ = ["TenantMetrics", "MetricsRegistry", "percentile"]
-
-
-def percentile(samples, q: float) -> float:
-    """Nearest-rank percentile of ``samples`` (0 for an empty set).
-
-    Tiny and dependency-free on purpose — latency sets here are a few
-    thousand floats at most, sorting per snapshot is cheap.
-    """
-    data = sorted(samples)
-    if not data:
-        return 0.0
-    rank = max(int(round(q / 100.0 * len(data) + 0.5)), 1)
-    return float(data[min(rank, len(data)) - 1])
 
 
 class TenantMetrics:
@@ -41,7 +31,9 @@ class TenantMetrics:
         self._clock = clock
         self._lock = threading.Lock()
         self._started = clock()
-        self._latencies = deque(maxlen=self.LATENCY_WINDOW)
+        self._latencies = Histogram(
+            name=f"{tenant}.chunk_latency", window=self.LATENCY_WINDOW,
+        )
         self.symbols_in = 0
         self.symbols_out = 0
         self.chunks = 0
@@ -74,7 +66,7 @@ class TenantMetrics:
         with self._lock:
             self.chunks += 1
             self.symbols_out += result.n_symbols
-            self._latencies.append(float(seconds))
+            self._latencies.observe(float(seconds))
             if result.degraded:
                 self.degraded_chunks += 1
                 if not self._last_degraded:
@@ -98,7 +90,7 @@ class TenantMetrics:
         """One self-consistent dict of everything above."""
         with self._lock:
             elapsed = max(self._clock() - self._started, 1e-9)
-            lat = list(self._latencies)
+            lat = self._latencies.values()
             return {
                 "tenant": self.tenant,
                 "state": self.state,

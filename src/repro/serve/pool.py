@@ -25,6 +25,8 @@ import time
 
 from ..engines import engine as build_engine
 
+from .. import telemetry
+
 __all__ = ["EngineLease", "EnginePool"]
 
 
@@ -88,8 +90,15 @@ class EngineLease:
         if self._released:
             raise RuntimeError("lease was released; open a new session")
         start = time.perf_counter()
-        with self._entry.exec_lock:
-            result = self._entry.engine.transform_many(blocks)
+        with telemetry.span("pool.execute") as pool_span:
+            with self._entry.exec_lock:
+                if pool_span.is_recording:
+                    pool_span.set("key", str(self._entry.key))
+                    pool_span.set(
+                        "lock_wait_ms",
+                        round((time.perf_counter() - start) * 1e3, 3),
+                    )
+                result = self._entry.engine.transform_many(blocks)
         seconds = time.perf_counter() - start
         if self._on_chunk is not None:
             self._on_chunk(result, seconds)

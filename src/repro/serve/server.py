@@ -48,6 +48,8 @@ from .errors import (
 from .metrics import MetricsRegistry
 from .pool import EnginePool
 
+from .. import telemetry
+
 __all__ = ["SessionServer", "TenantState"]
 
 
@@ -204,23 +206,37 @@ class SessionServer:
             )
         blocks = np.asarray(blocks, dtype=complex)
         count = 1 if blocks.ndim == 1 else len(blocks)
-        budget = self._budget()
-        if self._buffered_total() + count > budget:
-            state.metrics.record_shed(count)
-            raise ServerOverloaded(
-                f"global budget exhausted ({self._buffered_total()} "
-                f"buffered + {count} requested > {budget}); request shed"
-            )
-        try:
-            fed = state.session.feed(blocks, wait=True, timeout=deadline)
-        except SessionBackpressure:
-            state.metrics.record_backpressure(count)
-            raise
-        except SessionExecutionTimeout as exc:
-            self.fail_tenant(tenant, str(exc))
-            raise
-        state.metrics.record_admitted(fed)
-        return fed
+        # The per-tenant request span: chunk execution happens on this
+        # thread inside feed() (and, under exec_timeout, on the watchdog
+        # thread, which re-attaches this context), so session.chunk /
+        # engine.transform spans nest under it across thread boundaries.
+        with telemetry.span(
+            "serve.request", tenant=tenant, symbols=count,
+            deadline=deadline,
+        ) as request_span:
+            budget = self._budget()
+            if self._buffered_total() + count > budget:
+                state.metrics.record_shed(count)
+                request_span.set("shed", True)
+                raise ServerOverloaded(
+                    f"global budget exhausted ({self._buffered_total()} "
+                    f"buffered + {count} requested > {budget}); request "
+                    f"shed"
+                )
+            try:
+                fed = state.session.feed(
+                    blocks, wait=True, timeout=deadline,
+                )
+            except SessionBackpressure:
+                state.metrics.record_backpressure(count)
+                request_span.set("backpressure", True)
+                raise
+            except SessionExecutionTimeout as exc:
+                self.fail_tenant(tenant, str(exc))
+                request_span.set("timeout", True)
+                raise
+            state.metrics.record_admitted(fed)
+            return fed
 
     # Consumption ---------------------------------------------------------
 

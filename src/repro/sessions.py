@@ -43,6 +43,8 @@ import numpy as np
 from .engines import Engine, TransformResult, concat_results
 from .engines import engine as build_engine
 
+from . import telemetry
+
 __all__ = [
     "SessionBackpressure",
     "SessionClosed",
@@ -91,10 +93,14 @@ def run_with_watchdog(fn, args=(), timeout: float = None,
         return fn(*args)
     box = {}
     done = threading.Event()
+    # Trace context crosses the thread boundary: spans the worker opens
+    # (e.g. engine.transform) parent under the submitting thread's span.
+    parent_span = telemetry.current_span()
 
     def _target():
         try:
-            box["result"] = fn(*args)
+            with telemetry.attach(parent_span):
+                box["result"] = fn(*args)
         except BaseException as exc:  # propagate to the caller
             box["error"] = exc
         finally:
@@ -444,18 +450,22 @@ class StreamSession:
                 # so consumers can drain earlier chunks while this one
                 # computes.
                 try:
-                    result = run_with_watchdog(
-                        self.engine.transform_many, (chunk,),
-                        timeout=self.exec_timeout,
-                        description=(
-                            f"chunk of {take} symbols on "
-                            f"{self.engine.backend!r}"
-                        ),
-                    )
-                    if self.verify:
-                        self.engine._verify_chunk(
-                            chunk, result.spectrum, symbols_before
+                    with telemetry.span(
+                        "session.chunk", symbols=take,
+                        backend=self.engine.backend,
+                    ):
+                        result = run_with_watchdog(
+                            self.engine.transform_many, (chunk,),
+                            timeout=self.exec_timeout,
+                            description=(
+                                f"chunk of {take} symbols on "
+                                f"{self.engine.backend!r}"
+                            ),
                         )
+                        if self.verify:
+                            self.engine._verify_chunk(
+                                chunk, result.spectrum, symbols_before
+                            )
                 except BaseException:
                     with self._cond:
                         self._in_flight = 0

@@ -58,3 +58,38 @@ class ExecutionTrace:
     def listing(self) -> str:
         """The buffered trace as text."""
         return "\n".join(str(e) for e in self.entries)
+
+    def trace_events(self, pid: int = 1, tid: str = "asip",
+                     cycle_us: float = 1.0,
+                     origin_us: float = 0.0) -> list:
+        """The buffered instructions as Chrome trace-event dicts.
+
+        The adapter into :mod:`repro.telemetry.export`: each retired
+        instruction becomes one complete (``"X"``) event on the
+        ``tid`` lane, with ``ts`` mapped from its cycle stamp
+        (``origin_us + cycle * cycle_us``) and ``dur`` from the gap to
+        the next retirement — so the simulator's exact cycle account
+        renders as an instruction timeline in the same Perfetto file
+        as the span layers above it.
+        """
+        entries = list(self.entries)
+        events = []
+        for index, entry in enumerate(entries):
+            if index + 1 < len(entries):
+                cycles = max(entries[index + 1].cycle - entry.cycle, 1)
+            else:
+                cycles = 1
+            text = str(entry.instruction)
+            mnemonic = text.split()[0] if text.split() else "instr"
+            events.append({
+                "name": mnemonic,
+                "cat": "sim",
+                "ph": "X",
+                "ts": round(origin_us + entry.cycle * cycle_us, 3),
+                "dur": round(cycles * cycle_us, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": {"pc": entry.pc, "cycle": entry.cycle,
+                         "text": text},
+            })
+        return events

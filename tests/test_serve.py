@@ -482,6 +482,66 @@ class TestMetrics:
         assert snap["degraded_transitions"] == 2
 
 
+class TestHealthConcurrency:
+    #: exact per-tenant snapshot schema — frozen; dashboards parse it.
+    TENANT_KEYS = {
+        "tenant", "state", "symbols_in", "symbols_out", "chunks",
+        "symbols_per_s", "latency_p50_ms", "latency_p99_ms", "shed",
+        "backpressure", "timeouts", "degraded_chunks",
+        "degraded_transitions", "failure_reason",
+    }
+
+    def test_health_hammer_during_live_load(self):
+        """``health()`` from another thread never returns a torn snapshot.
+
+        A hammer thread polls ``server.health()`` in a tight loop while
+        ``run_load`` drives concurrent tenants through the same server;
+        every snapshot it collects must be internally consistent — full
+        per-tenant schema, counters that never exceed their upper
+        bounds, ordered quantiles — not a dict caught mid-mutation.
+        """
+        snapshots, failures = [], []
+        stop = threading.Event()
+
+        def hammer(server):
+            while not stop.is_set():
+                try:
+                    snapshots.append(server.health())
+                except Exception as exc:  # pragma: no cover - the failure
+                    failures.append(repr(exc))
+                    return
+
+        with SessionServer(batch=4) as server:
+            poller = threading.Thread(
+                target=hammer, args=(server,), name="health-hammer",
+            )
+            poller.start()
+            try:
+                measure = run_load(tenants=4, symbols=24, n_points=32,
+                                   batch=4, feed_size=4, seed=11,
+                                   server=server)
+            finally:
+                stop.set()
+                poller.join(timeout=10.0)
+        assert not poller.is_alive()
+        assert not failures, failures
+        assert measure["ok"], (measure["errors"], measure["mismatches"])
+        assert snapshots, "hammer never completed a snapshot"
+        for health in snapshots:
+            assert set(health) >= {"closed", "buffered", "tenants", "pool"}
+            for name, tenant in health["tenants"].items():
+                assert set(tenant) == self.TENANT_KEYS, name
+                assert tenant["symbols_out"] <= tenant["symbols_in"]
+                assert tenant["chunks"] * 4 >= tenant["symbols_out"]
+                assert (tenant["latency_p50_ms"]
+                        <= tenant["latency_p99_ms"] + 1e-9)
+                assert tenant["degraded_chunks"] >= \
+                    tenant["degraded_transitions"]
+        # The last snapshots saw real traffic, not just empty registries.
+        final = snapshots[-1]["tenants"]
+        assert sum(t["symbols_in"] for t in final.values()) > 0
+
+
 class TestLoadGenerator:
     def test_run_load_smoke_verifies_against_oracle(self):
         measure = run_load(tenants=3, symbols=8, n_points=16, batch=4,
