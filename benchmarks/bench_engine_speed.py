@@ -120,6 +120,14 @@ HISTORY_LIMIT = 200
 # or clock reads on the disabled path.
 TELEMETRY_OVERHEAD_MAX = 1.02
 
+# Overlay-replay ceiling: recording a retirement trace plus re-timing it
+# at two issue widths (and the critical-path floor) may cost at most
+# this ratio over one bare interpreted oracle run.  Measured ~2.5-3.5x
+# (one python closure per retired op plus three linear re-walks of the
+# trace); the ceiling catches the recorder growing per-op allocation or
+# the scheduler going super-linear.
+UARCH_OVERHEAD_MAX = 6.0
+
 
 def _vector(n, seed=0, scale=1.0):
     rng = np.random.default_rng(seed)
@@ -457,6 +465,63 @@ def _time_telemetry(n, symbols, reps=5, inner_loops=4):
     }
 
 
+def _time_uarch(n, reps=3):
+    """Overlay replay overhead vs one bare interpreted oracle run.
+
+    The overlay side records the retirement trace (which itself runs
+    the program through the interpreter) and re-times it at issue
+    widths 1 and 2 plus the dataflow critical-path floor; the bare side
+    is the identical ``run_interpreted`` call without instrumentation.
+    The sandwich invariant is asserted on the measured trace, so the
+    perf gate doubles as a correctness check.
+    """
+    from repro.asip import FFTASIP, generate_fft_program
+    from repro.uarch import (
+        critical_path_cycles,
+        get_uarch,
+        record_trace,
+        retime,
+    )
+
+    x = _vector(n, seed=n)
+    program = generate_fft_program(n)
+    bare = FFTASIP(n)
+
+    def run_bare():
+        bare.load_input(x)
+        bare.run_interpreted(program)
+
+    recorded = FFTASIP(n)
+    measured = {}
+
+    def run_overlay():
+        recorded.load_input(x)
+        ops = record_trace(recorded, program)
+        single = retime(ops, get_uarch("single-issue"))
+        dual = retime(ops, get_uarch("dual-issue"))
+        floor = critical_path_cycles(ops)
+        measured.update(ops=len(ops), single=single.cycles,
+                        dual=dual.cycles, floor=floor)
+
+    run_bare()
+    run_overlay()
+    t_bare = _best_of(run_bare, reps)
+    t_overlay = _best_of(run_overlay, reps)
+    sandwich_ok = measured["floor"] <= measured["dual"] <= measured["single"]
+    return {
+        "n": n,
+        "instructions": measured["ops"],
+        "bare_ms": t_bare * 1e3,
+        "overlay_ms": t_overlay * 1e3,
+        "overhead": t_overlay / t_bare,
+        "cycles_floor": measured["floor"],
+        "cycles_dual": measured["dual"],
+        "cycles_single": measured["single"],
+        "speedup_w2": measured["single"] / measured["dual"],
+        "sandwich_ok": sandwich_ok,
+    }
+
+
 def _facade_rows(n, symbols, reps=2):
     """Exercise every registered backend through the facade.
 
@@ -550,6 +615,7 @@ def collect_measurements(quick=False):
     results["serve"] = _time_serve(serve_tenants, serve_symbols, n=64)
     telemetry_n = 512 if quick else 1024
     results["telemetry"] = _time_telemetry(telemetry_n, 64)
+    results["uarch"] = _time_uarch(128 if quick else 512)
     return results
 
 
@@ -696,6 +762,19 @@ def test_telemetry_disabled_overhead_floor(measurements):
     assert row["overhead"] <= TELEMETRY_OVERHEAD_MAX
 
 
+def test_uarch_overlay_overhead_floor(measurements):
+    row = measurements["uarch"]
+    print(f"\nuarch {row['instructions']} ops @ {row['n']}: "
+          f"bare {row['bare_ms']:.2f} ms -> overlay "
+          f"{row['overlay_ms']:.2f} ms ({row['overhead']:.2f}x)  "
+          f"w2 {row['speedup_w2']:.3f}x")
+    assert row["sandwich_ok"], (
+        f"cycle sandwich violated: {row['cycles_floor']} <= "
+        f"{row['cycles_dual']} <= {row['cycles_single']}"
+    )
+    assert row["overhead"] <= UARCH_OVERHEAD_MAX
+
+
 def test_trajectory_appends_history(measurements):
     assert RESULT_PATH.exists()
     stored = json.loads(RESULT_PATH.read_text())
@@ -775,11 +854,26 @@ def run_quick() -> int:
           f"max {TELEMETRY_OVERHEAD_MAX}x)  enabled "
           f"{tel['enabled_ms']:.2f} ms ({tel['enabled_overhead']:.2f}x)  "
           f"{'ok' if tel_ok else 'FAIL'}")
+    # Uarch overlay: replay overhead ceiling plus the cycle sandwich.
+    # One re-measure on failure, same rationale as the telemetry row.
+    ua = results["uarch"]
+    if ua["overhead"] > UARCH_OVERHEAD_MAX:
+        ua = results["uarch"] = _time_uarch(ua["n"])
+    ua_ok = ua["overhead"] <= UARCH_OVERHEAD_MAX and ua["sandwich_ok"]
+    if not ua_ok:
+        failed = True
+    print(f"quick uarch {ua['instructions']} ops @ {ua['n']}: "
+          f"bare {ua['bare_ms']:.2f} ms -> overlay {ua['overlay_ms']:.2f} ms "
+          f"({ua['overhead']:.2f}x, max {UARCH_OVERHEAD_MAX}x)  "
+          f"sandwich {ua['cycles_floor']}<={ua['cycles_dual']}"
+          f"<={ua['cycles_single']}  w2 {ua['speedup_w2']:.3f}x  "
+          f"{'ok' if ua_ok else 'FAIL'}")
     from repro.cli import record_backend_rows
 
     record_backend_rows(RESULT_PATH, "coexec_quick", [co])
     record_backend_rows(RESULT_PATH, "serve_quick", [srv])
     record_backend_rows(RESULT_PATH, "telemetry_quick", [tel])
+    record_backend_rows(RESULT_PATH, "uarch_quick", [ua])
     return 1 if failed else 0
 
 

@@ -98,6 +98,13 @@ def main():
     print(f"open {out} in Perfetto or chrome://tracing "
           f"({len(tracer)} spans); or: python -m repro trace uwb-ofdm")
 
+    # --- 5. going further ---------------------------------------------
+    # examples/uarch_study.py re-times the exact machine's retirement
+    # trace under dual issue and a blocking cache, pricing each design
+    # point through repro.hw (python -m repro uarch --study).
+    print("\nnext: python examples/uarch_study.py — the issue-width "
+          "design study over the recorded instruction trace")
+
 
 if __name__ == "__main__":
     main()

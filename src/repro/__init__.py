@@ -52,7 +52,11 @@ Public API layers underneath the facade:
 * :mod:`repro.telemetry`  — unified tracing, metrics and profiling:
   nested spans across every layer above, Chrome trace-event /
   jsonl / console exporters and span-aggregate regression checks
-  (``python -m repro trace``, ``--trace`` on run/serve/bench).
+  (``python -m repro trace``, ``--trace`` on run/serve/bench);
+* :mod:`repro.uarch`      — the scoreboarded issue-width timing overlay
+  over the exact machine: retirement-trace recording, dual-issue /
+  blocking-cache re-timing with a guaranteed cycle sandwich, and the
+  issue-width design study (``python -m repro uarch --study``).
 """
 
 from .core import ArrayFFT, array_fft
@@ -96,8 +100,16 @@ from .serve import (
     UnknownTenant,
 )
 from . import telemetry
+from .uarch import (
+    UarchResult,
+    UarchSpec,
+    get_uarch,
+    register_uarch,
+    uarch_names,
+    uarch_specs,
+)
 
-__version__ = "3.4.0"
+__version__ = "3.5.0"
 
 __all__ = [
     "engine",
@@ -134,5 +146,11 @@ __all__ = [
     "ArrayFFT",
     "array_fft",
     "telemetry",
+    "UarchSpec",
+    "UarchResult",
+    "register_uarch",
+    "get_uarch",
+    "uarch_names",
+    "uarch_specs",
     "__version__",
 ]

@@ -1,7 +1,12 @@
 """Table II comparison implementations (the paper's implementations 1-3)."""
 
 from .pisa_sw import SoftwareFFTBaseline, generate_software_fft
-from .table2 import PAPER_TABLE2, Table2Row, run_table2
+from .table2 import (
+    PAPER_TABLE2,
+    Table2Row,
+    run_table2,
+    run_table2_extended,
+)
 from .ti_vliw import ButterflyKernel, TIVliwModel, VliwResources
 from .xtensa import XtensaFFTModel
 
@@ -14,5 +19,6 @@ __all__ = [
     "XtensaFFTModel",
     "Table2Row",
     "run_table2",
+    "run_table2_extended",
     "PAPER_TABLE2",
 ]

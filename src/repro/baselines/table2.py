@@ -11,7 +11,7 @@ from .pisa_sw import SoftwareFFTBaseline
 from .ti_vliw import TIVliwModel
 from .xtensa import XtensaFFTModel
 
-__all__ = ["Table2Row", "run_table2", "PAPER_TABLE2"]
+__all__ = ["Table2Row", "run_table2", "run_table2_extended", "PAPER_TABLE2"]
 
 #: the paper's published Table II values for 1024 points
 PAPER_TABLE2 = {
@@ -79,3 +79,20 @@ def run_table2(n_points: int = 1024, seed: int = 2009) -> dict:
             ours.stats.stores, ours.stats.dcache_misses,
         ),  # ours.stats is this run's delta — absolute, machine was fresh
     }
+
+
+def run_table2_extended(n_points: int = 1024, seed: int = 2009,
+                        widths=(1, 2)) -> dict:
+    """Table II plus the uarch overlay's issue-width rows.
+
+    The four baseline rows are :func:`run_table2` verbatim; the
+    ``proposed_w<N>`` rows re-time the proposed ASIP's recorded
+    retirement trace at each issue width under a blocking 32 KB cache
+    (see :mod:`repro.uarch.study`), keeping the oracle's architectural
+    load/store counters.
+    """
+    rows = run_table2(n_points, seed)
+    from ..uarch.study import table2_extension_rows
+
+    rows.update(table2_extension_rows(n_points, seed, widths))
+    return rows

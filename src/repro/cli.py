@@ -242,6 +242,26 @@ def build_parser() -> argparse.ArgumentParser:
                                 "the run is compared against ('' "
                                 "disables the check)")
 
+    uarch = sub.add_parser(
+        "uarch",
+        help="re-time a recorded oracle run under the scoreboarded "
+             "issue-width overlay (--study: width x cache sweep priced "
+             "through the hw/ models)",
+    )
+    uarch.add_argument("scenario", nargs="?", default=None,
+                       help="registered scenario whose FFT size to use "
+                            "(default: 1024 points)")
+    uarch.add_argument("--size", type=int, default=None,
+                       help="override the FFT size directly")
+    uarch.add_argument("--study", action="store_true",
+                       help="run the issue-width x cache design study "
+                            "(the extended Table II)")
+    uarch.add_argument("--seed", type=int, default=2009)
+    uarch.add_argument("--record", type=str, nargs="?", default="",
+                       const="BENCH_engine.json", metavar="PATH",
+                       help="append the rows to this bench file's "
+                            "'uarch' section (default BENCH_engine.json)")
+
     listing = sub.add_parser("listing", help="show the generated program")
     listing.add_argument("--size", type=int, default=64)
 
@@ -766,6 +786,93 @@ def _cmd_serve(args) -> tuple:
     return out, code
 
 
+def _cmd_uarch(args) -> tuple:
+    """Returns ``(text, exit_code)``; non-zero if the cycle sandwich
+    (critical path <= dual-issue <= single-issue) is ever violated."""
+    from .core.registry import UnknownNameError
+    from .uarch import (
+        critical_path_cycles,
+        record_fft_trace,
+        retime,
+        run_uarch_study,
+        uarch_specs,
+    )
+
+    n_points = args.size
+    if n_points is None and args.scenario:
+        from .scenarios import get_scenario
+
+        try:
+            n_points = get_scenario(args.scenario).n_points
+        except UnknownNameError as exc:
+            raise SystemExit(str(exc))
+    n_points = n_points or 1024
+
+    if args.study:
+        rows = run_uarch_study(n_points, seed=args.seed)
+        body = [
+            (row["config"], row["cycles"], row["floor_cycles"],
+             f"{row['cpi']:.3f}", f"{row['speedup']:.3f}",
+             row["dcache_misses"], row["gates"],
+             f"{row['clock_mhz']:.0f}", f"{row['time_us']:.2f}",
+             f"{row['power_mw']:.1f}", f"{row['energy_uj']:.3f}")
+            for row in rows
+        ]
+        out = render_table(
+            ["config", "cycles", "floor", "CPI", "speedup", "D$ miss",
+             "gates", "MHz", "us", "mW", "uJ"],
+            body,
+            title=f"Issue-width design study — {n_points}-point FFT "
+                  f"(extended Table II)",
+        )
+        if args.record:
+            record_backend_rows(Path(args.record), "uarch", rows)
+            out += f"\nrecorded -> {args.record}"
+        return out, 0
+
+    ops, machine = record_fft_trace(n_points, seed=args.seed)
+    results = {
+        name: retime(ops, spec) for name, spec in uarch_specs().items()
+    }
+    floor = critical_path_cycles(ops)
+    body = [
+        ("critical-path", "inf", floor, "-", "-", "-", "-", "-")
+    ] + [
+        (name, result.issue_width, result.cycles, f"{result.cpi:.3f}",
+         result.stalls["raw"], result.stalls["structural"],
+         result.stalls["branch"] + result.stalls["cache"],
+         result.dcache_misses)
+        for name, result in results.items()
+    ]
+    out = render_table(
+        ["config", "width", "cycles", "CPI", "raw", "struct",
+         "branch+cache", "D$ miss"],
+        body,
+        title=f"Timing overlay — {n_points}-point FFT "
+              f"({machine.stats.instructions} retired ops, oracle "
+              f"{machine.stats.cycles} cycles)",
+    )
+    dual = results["dual-issue"].cycles
+    single = results["single-issue"].cycles
+    ok = floor <= dual <= single
+    out += (f"\nsandwich: critical-path {floor} <= dual-issue {dual} "
+            f"<= single-issue {single}: {'ok' if ok else 'VIOLATED'}")
+    if args.record:
+        rows = [
+            {"config": name, "issue_width": result.issue_width,
+             "n_points": n_points, "cycles": result.cycles,
+             "cpi": round(result.cpi, 3),
+             "dcache_misses": result.dcache_misses, **{
+                 f"stall_{kind}": cycles
+                 for kind, cycles in result.stalls.items()
+             }}
+            for name, result in results.items()
+        ]
+        record_backend_rows(Path(args.record), "uarch", rows)
+        out += f"\nrecorded -> {args.record}"
+    return out, 0 if ok else 1
+
+
 def _cmd_listing(size: int) -> str:
     return generate_fft_program(size).listing()
 
@@ -825,6 +932,10 @@ def _dispatch(args) -> int:
         return code
     elif args.command == "serve":
         text, code = _cmd_serve(args)
+        print(text)
+        return code
+    elif args.command == "uarch":
+        text, code = _cmd_uarch(args)
         print(text)
         return code
     elif args.command == "listing":

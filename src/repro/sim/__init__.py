@@ -7,7 +7,7 @@ from .crf import CustomRegisterFile
 from .errors import RunawayProgram, SimulationError, UnsupportedInstruction
 from .machine import Machine
 from .memory import MainMemory
-from .pipeline import PipelineConfig
+from .pipeline import PipelineConfig, pipeline_preset
 from .rom import CoefficientROM
 from .stats import SimStats
 from .trace import ExecutionTrace, TraceEntry
@@ -18,6 +18,7 @@ __all__ = [
     "DataCache",
     "CacheConfig",
     "PipelineConfig",
+    "pipeline_preset",
     "SimStats",
     "CustomRegisterFile",
     "CoefficientROM",

@@ -8,13 +8,19 @@ is the same modelling level as SimpleScalar's sim-cache/sim-profile flows
 the paper used, and it is what makes the cycle counts respond to the
 things the paper's design changes: instruction count, loads/stores, and
 cache misses.
+
+Named parameter presets (``base-300mhz``, ``no-interlock``, ...) live in
+the uarch config registry — :func:`pipeline_preset` resolves one by
+name, and :func:`repro.uarch.register_uarch` adds new ones — while this
+frozen dataclass stays the single source of timing truth for both the
+oracle and the :mod:`repro.uarch` overlay.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["PipelineConfig"]
+__all__ = ["PipelineConfig", "pipeline_preset"]
 
 
 @dataclass(frozen=True)
@@ -38,3 +44,18 @@ class PipelineConfig:
                      "but4_latency", "custom_mem_latency"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+
+
+def pipeline_preset(name: str) -> PipelineConfig:
+    """The :class:`PipelineConfig` of a registered uarch preset.
+
+    Resolves through the :mod:`repro.uarch` config registry (imported
+    lazily — the registry depends on this module, not vice versa), so
+    ``pipeline_preset("no-interlock")`` and any user-registered configs
+    work without constructing parameter sets by hand.  Unknown names
+    raise :class:`~repro.core.registry.UnknownNameError` with the
+    sorted menu.
+    """
+    from ..uarch.model import get_uarch
+
+    return get_uarch(name).pipeline

@@ -1,0 +1,67 @@
+"""repro.uarch — scoreboarded issue-width timing overlay over the oracle.
+
+``sim/machine.py`` remains the bit-exact architectural oracle; this
+package re-times its retired-instruction trace under configurable issue
+widths, functional-unit sets and blocking-cache geometries:
+
+* :mod:`repro.uarch.replay`  — record the oracle's retirement trace
+  (exact operands, CRF banks, memory beats) via the instrumented-step
+  seam;
+* :mod:`repro.uarch.hazards` — the scoreboard tracking register / CRF /
+  memory-word read-write hazards, plus the dataflow critical path;
+* :mod:`repro.uarch.model`   — the greedy in-order issue model and the
+  uarch config registry (``base-300mhz``, ``no-interlock``,
+  ``single-issue``, ``dual-issue``);
+* :mod:`repro.uarch.study`   — the cycles-vs-issue-width sweep priced
+  through the ``hw/`` area/power/timing models (``python -m repro
+  uarch --study``).
+
+The guaranteed sandwich — dataflow critical path ≤ dual-issue ≤
+single-issue — is fuzz-asserted by the ``uarch`` verify family.
+"""
+
+from .hazards import Scoreboard, dataflow_critical_path
+from .model import (
+    UarchResult,
+    UarchSpec,
+    cache_timeline,
+    critical_path_cycles,
+    get_uarch,
+    register_uarch,
+    retime,
+    sandwich_cycles,
+    uarch_names,
+    uarch_specs,
+    unregister_uarch,
+)
+from .replay import RetiredOp, record_trace
+from .study import (
+    DUAL_ISSUE_CORE_OVERHEAD,
+    STUDY_CACHES,
+    record_fft_trace,
+    run_uarch_study,
+    table2_extension_rows,
+)
+
+__all__ = [
+    "RetiredOp",
+    "record_trace",
+    "Scoreboard",
+    "dataflow_critical_path",
+    "UarchSpec",
+    "UarchResult",
+    "register_uarch",
+    "unregister_uarch",
+    "get_uarch",
+    "uarch_names",
+    "uarch_specs",
+    "cache_timeline",
+    "retime",
+    "critical_path_cycles",
+    "sandwich_cycles",
+    "DUAL_ISSUE_CORE_OVERHEAD",
+    "STUDY_CACHES",
+    "record_fft_trace",
+    "run_uarch_study",
+    "table2_extension_rows",
+]

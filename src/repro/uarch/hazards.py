@@ -1,0 +1,89 @@
+"""Scoreboard: read-write hazard tracking over a retired-instruction trace.
+
+The overlay re-times a program *after* the architectural oracle has
+executed it, so every operand value — and therefore every register, CRF
+entry and memory word an instruction touched — is known exactly.  The
+scoreboard exploits that: each :class:`~repro.uarch.replay.RetiredOp`
+carries its resource read/write sets as hashable tags
+
+* ``int``                     — an architectural register (r0 filtered out),
+* ``("crf", bank, entry)``    — one physical CRF entry in one bank,
+* ``("m", word_address)``     — one data-memory word,
+
+and the scoreboard simply maps each tag to the completion cycle of its
+last writer.  An instruction is *ready* no earlier than the completion of
+every producer it reads (RAW) and every earlier writer of a resource it
+overwrites (WAW — the overlay retires in order with single-cycle
+occupancy per result, so WAR can never bite and is not tracked).
+
+Because the tags are exact (trace-driven, not decoded from operand
+fields), CRF hazards distinguish the two banks: LDIN writes and BUT4
+reads target the active bank while BUT4 writes land in the shadow bank,
+so a butterfly never falsely depends on the loads of the *next* stage —
+exactly the overlap the paper's double-banked CRF buys.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Scoreboard", "dataflow_critical_path"]
+
+
+class Scoreboard:
+    """Completion-cycle map per resource, queried in retirement order."""
+
+    __slots__ = ("_ready",)
+
+    def __init__(self):
+        self._ready = {}
+
+    def ready(self, op) -> int:
+        """Earliest cycle ``op`` may issue, given prior writers.
+
+        The max over the completion cycles of the last writer of every
+        resource in the op's read set (RAW) and write set (WAW); zero
+        when the op depends on nothing in flight.
+        """
+        board = self._ready
+        ready = 0
+        for resource in op.reads:
+            t = board.get(resource, 0)
+            if t > ready:
+                ready = t
+        for resource in op.writes:
+            t = board.get(resource, 0)
+            if t > ready:
+                ready = t
+        return ready
+
+    def commit(self, op, completion: int) -> None:
+        """Record ``op``'s results becoming visible at ``completion``."""
+        board = self._ready
+        for resource in op.writes:
+            board[resource] = completion
+
+    def reset(self) -> None:
+        self._ready.clear()
+
+
+def dataflow_critical_path(ops, latencies) -> int:
+    """Length in cycles of the pure dependency chain through ``ops``.
+
+    Ignores issue width, functional units and in-order issue entirely:
+    each op starts the moment its scoreboard hazards clear and completes
+    ``latencies[i]`` cycles later.  This is the dataflow lower bound of
+    the sandwich invariant — no legal schedule that honours the same
+    hazards and per-op latencies finishes any instruction earlier, so no
+    overlay cycle count may come in below it.
+    """
+    if len(ops) != len(latencies):
+        raise ValueError(
+            f"got {len(ops)} ops but {len(latencies)} latencies"
+        )
+    board = Scoreboard()
+    path = 0
+    for op, latency in zip(ops, latencies):
+        completion = board.ready(op) + latency
+        board.commit(op, completion)
+        if completion > path:
+            path = completion
+    return path

@@ -1,0 +1,198 @@
+"""Cycles-vs-issue-width design study, priced through the ``hw/`` models.
+
+Extends the paper's Table II along the axis the paper leaves implicit:
+what does a second issue slot buy the proposed ASIP, and what does it
+cost?  One oracle run per point count records the retirement trace
+(:func:`record_fft_trace`); :func:`run_uarch_study` then re-times that
+single trace for every requested issue width × cache geometry and prices
+each design point — gates from :class:`~repro.hw.area.AreaModel` plus a
+dual-issue front-end/bypass overhead on the base core, clock from
+:class:`~repro.hw.timing.TimingModel` (capped at the paper's 300 MHz),
+power scaled by the area ratio from :class:`~repro.hw.power.PowerModel`.
+Every sweep asserts the sandwich invariant before reporting, so a row
+can never claim a speedup the hazard model does not actually permit.
+
+:func:`table2_extension_rows` feeds
+:func:`repro.baselines.table2.run_table2_extended` — overlay rows carry
+the *oracle's* load/store counters (the overlay never re-executes, so
+the architectural event counts are by construction the proposed row's)
+with the re-timed cycles and the replayed miss count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.area import AreaModel
+from ..hw.power import PowerModel
+from ..hw.timing import TimingModel
+from ..sim.cache import CacheConfig
+from .model import (
+    critical_path_cycles,
+    get_uarch,
+    retime,
+    uarch_names,
+)
+from .replay import record_trace
+
+__all__ = [
+    "DUAL_ISSUE_CORE_OVERHEAD",
+    "STUDY_CACHES",
+    "record_fft_trace",
+    "run_uarch_study",
+    "table2_extension_rows",
+]
+
+#: extra base-core gates per additional issue slot (second decoder,
+#: scoreboard ports, result bypassing) — a conservative RISC figure.
+DUAL_ISSUE_CORE_OVERHEAD = 0.15
+
+#: the cache axis of the sweep: the paper's 32 KB cache and a quarter-size
+#: variant that actually pressures the blocking-miss path.
+STUDY_CACHES = (
+    ("32kB-4way", CacheConfig()),
+    ("8kB-2way", CacheConfig(sets=128, ways=2)),
+)
+
+
+def record_fft_trace(n_points: int = 1024, seed: int = 2009):
+    """One oracle FFT run, recorded.  Returns ``(ops, machine)``.
+
+    The machine is returned post-run so callers can read its
+    architectural counters (loads/stores) and plan parameters; its
+    output is checked against ``numpy.fft`` so a recording bug can
+    never masquerade as a timing result.
+    """
+    from ..asip import FFTASIP, generate_fft_program
+
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n_points) + 1j * rng.standard_normal(n_points)
+    machine = FFTASIP(n_points)
+    machine.load_input(x)
+    ops = record_trace(machine, generate_fft_program(n_points))
+    if not np.allclose(machine.read_output(), np.fft.fft(x), atol=1e-6):
+        raise AssertionError(
+            "recorded oracle run produced a wrong spectrum"
+        )
+    return ops, machine
+
+
+def _price(cycles: int, issue_width: int, group_size: int) -> dict:
+    """Gates / clock / time / power / energy for one design point."""
+    area = AreaModel(group_size)
+    core_gates = AreaModel.BASE_CORE_GATES * (
+        1 + DUAL_ISSUE_CORE_OVERHEAD * (issue_width - 1)
+    )
+    gates = core_gates + area.breakdown().total
+    clock_mhz = min(300.0, TimingModel(group_size).max_clock_mhz())
+    time_us = cycles / clock_mhz
+    # Dynamic power scales with the switched area; widen the core, pay
+    # proportionally on the PowerModel's single-issue total.
+    base_gates = AreaModel.BASE_CORE_GATES + area.breakdown().total
+    power_mw = (
+        PowerModel(area, clock_mhz=clock_mhz).breakdown().total
+        * gates / base_gates
+    )
+    return {
+        "gates": int(round(gates)),
+        "clock_mhz": round(clock_mhz, 1),
+        "time_us": round(time_us, 2),
+        "power_mw": round(power_mw, 2),
+        "energy_uj": round(power_mw * time_us / 1000.0, 3),
+    }
+
+
+def run_uarch_study(n_points: int = 1024, seed: int = 2009,
+                    widths=(1, 2), caches=STUDY_CACHES) -> list:
+    """The sweep: one row dict per (cache geometry × issue width).
+
+    Each cache group also carries the dataflow critical-path floor in
+    its rows' ``floor_cycles`` and per-row speedups over that group's
+    single-issue baseline.  Raises ``AssertionError`` if any point
+    violates the sandwich invariant.
+    """
+    widths = tuple(sorted(set(widths)))
+    if not widths or widths[0] < 1:
+        raise ValueError(f"widths must be >= 1, got {widths!r}")
+    ops, machine = record_fft_trace(n_points, seed)
+    group_size = machine.plan.split.P
+    single = get_uarch("single-issue")
+    rows = []
+    for cache_label, cache_config in caches:
+        floor = critical_path_cycles(ops, single.pipeline, cache_config)
+        by_width = {}
+        for width in widths:
+            spec = (
+                single if width == 1
+                else get_uarch("dual-issue") if width == 2
+                else type(single)(
+                    name=f"issue-{width}",
+                    description=f"{width}-wide sweep point",
+                    pipeline=single.pipeline,
+                    issue_width=width,
+                )
+            )
+            by_width[width] = retime(ops, spec, cache_config)
+        baseline = by_width[min(widths)]
+        for width in widths:
+            result = by_width[width]
+            if not floor <= result.cycles <= baseline.cycles:
+                raise AssertionError(
+                    f"sandwich violated at width {width} / {cache_label}: "
+                    f"{floor} <= {result.cycles} <= {baseline.cycles}"
+                )
+            row = {
+                "config": f"w{width}/{cache_label}",
+                "issue_width": width,
+                "cache": cache_label,
+                "n_points": n_points,
+                "instructions": result.instructions,
+                "cycles": result.cycles,
+                "cpi": round(result.cpi, 3),
+                "floor_cycles": floor,
+                "speedup": round(baseline.cycles / result.cycles, 3),
+                "dcache_misses": result.dcache_misses,
+                "stall_raw": result.stalls["raw"],
+                "stall_structural": result.stalls["structural"],
+                "stall_branch": result.stalls["branch"],
+                "stall_cache": result.stalls["cache"],
+            }
+            row.update(_price(result.cycles, width, group_size))
+            rows.append(row)
+    return rows
+
+
+def table2_extension_rows(n_points: int = 1024, seed: int = 2009,
+                          widths=(1, 2)) -> dict:
+    """Overlay rows for the extended Table II, keyed ``proposed_w<N>``.
+
+    Cycle counts are the overlay's (blocking 32 KB cache); loads and
+    stores are the oracle's architectural counters, identical across
+    widths because the overlay only re-times.
+    """
+    from ..baselines.table2 import Table2Row
+
+    ops, machine = record_fft_trace(n_points, seed)
+    stats = machine.stats
+    rows = {}
+    for width in sorted(set(widths)):
+        spec = get_uarch("single-issue" if width == 1 else "dual-issue") \
+            if width in (1, 2) else None
+        if spec is None:
+            spec = get_uarch("single-issue")
+            spec = type(spec)(
+                name=f"issue-{width}", description="",
+                pipeline=spec.pipeline, issue_width=width,
+            )
+        result = retime(ops, spec)
+        rows[f"proposed_w{width}"] = Table2Row(
+            f"Proposed ASIP ({width}-issue overlay, blocking cache)",
+            result.cycles, stats.loads, stats.stores,
+            result.dcache_misses,
+        )
+    return rows
+
+
+def study_config_names() -> list:
+    """Registered config menu, re-exported for CLI listings."""
+    return uarch_names()

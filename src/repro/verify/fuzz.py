@@ -1,7 +1,7 @@
 """Seeded property fuzzing across every registered backend, with
 shrinking to a minimal reproducer.
 
-Five generator families, all driven by one ``numpy`` PCG64 stream so a
+Six generator families, all driven by one ``numpy`` PCG64 stream so a
 ``(kinds, n_cases, seed)`` triple replays exactly:
 
 * ``isa`` — random-but-safe ISA programs (ALU mix, word loads/stores in
@@ -30,6 +30,12 @@ Five generator families, all driven by one ``numpy`` PCG64 stream so a
   bit-identical, an injected ``pool-failure`` must degrade (not
   corrupt) only tenant 0, and an injected ``worker-shard`` corruption
   must surface in tenant 0's spectrum alone.
+* ``uarch`` — random ISA programs and small FFT runs recorded through
+  :func:`repro.uarch.record_trace`: the recorded machine must end
+  bit-identical to an un-instrumented interpreted twin (registers,
+  memory/spectrum, statistics, retirement count), and the re-timed
+  trace must obey the cycle sandwich (dataflow critical path <=
+  dual-issue <= single-issue).
 
 A failing case is *shrunk* greedily: every registered reduction
 (halving symbol counts and sizes, dropping halves of a fuzzed program)
@@ -55,7 +61,7 @@ __all__ = [
     "shrink_config",
 ]
 
-FUZZ_KINDS = ("isa", "engine", "scenario", "coded", "serve")
+FUZZ_KINDS = ("isa", "engine", "scenario", "coded", "serve", "uarch")
 
 #: scratch word region the fuzzed ISA programs confine their
 #: loads/stores to (compared word by word after the run).
@@ -552,6 +558,108 @@ def shrink_config(config: dict, run_case, max_rounds: int = 32) -> dict:
     return current
 
 
+# Microarchitecture overlay fuzzing ----------------------------------------
+#
+# Two properties per case: (1) recording the retirement trace must not
+# perturb the architectural oracle — the recorded machine ends bit-equal
+# to an un-instrumented twin, and retires exactly as many ops as the twin
+# counts; (2) the cycle sandwich holds — dataflow critical path <=
+# dual-issue <= single-issue for the recorded trace.  Cases alternate
+# random ISA programs (branches, load-use chains, multiplies) and small
+# FFT runs (the custom LDIN/BUT4/STOUT ops with CRF bank swaps).
+
+
+def _gen_uarch(rng) -> dict:
+    if float(rng.random()) < 0.5:
+        return {"ops": _gen_isa(rng)["ops"]}
+    return {
+        "n_points": int(rng.choice((16, 32, 64))),
+        "seed": int(rng.integers(0, 2**31)),
+    }
+
+
+def _diverge_uarch(location, a, b, step_index, message) -> DivergenceReport:
+    return DivergenceReport(
+        kind="uarch-overlay",
+        backends=("machine-recorded", "machine-oracle"),
+        step_index=step_index, location=location,
+        operands={"a": a, "b": b}, message=message,
+    )
+
+
+def _run_uarch(config) -> DivergenceReport:
+    from ..uarch import record_trace, sandwich_cycles
+
+    if "ops" in config:
+        from ..sim.machine import Machine
+        from ..sim.memory import MainMemory
+
+        program = _build_isa_program(config["ops"])
+        recorded = Machine(MainMemory(256, float_mode=False))
+        oracle = Machine(MainMemory(256, float_mode=False))
+        ops = record_trace(recorded, program)
+        oracle.run_interpreted(program)
+        for r in range(32):
+            va, vb = recorded.read_reg(r), oracle.read_reg(r)
+            if va != vb:
+                return _diverge_uarch(
+                    {"register": r}, va, vb, len(ops),
+                    "recording perturbed register state",
+                )
+        for word in range(_MEM_LO, _MEM_HI):
+            va = recorded.memory.read_word(word)
+            vb = oracle.memory.read_word(word)
+            if va != vb:
+                return _diverge_uarch(
+                    {"memory_word": word}, va, vb, len(ops),
+                    "recording perturbed memory state",
+                )
+    else:
+        import numpy as np
+
+        from ..asip import FFTASIP, generate_fft_program
+
+        n = config["n_points"]
+        rng = np.random.default_rng(config["seed"])
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        program = generate_fft_program(n)
+        recorded = FFTASIP(n)
+        recorded.load_input(x)
+        ops = record_trace(recorded, program)
+        oracle = FFTASIP(n)
+        oracle.load_input(x)
+        oracle.run_interpreted(program)
+        ours, theirs = recorded.read_output(), oracle.read_output()
+        if not np.array_equal(ours, theirs):
+            point = int(np.argmax(np.abs(ours - theirs)))
+            return _diverge_uarch(
+                {"output_point": point},
+                complex(ours[point]), complex(theirs[point]), len(ops),
+                "recording perturbed the spectrum",
+            )
+    sa, sb = recorded.stats.as_dict(), oracle.stats.as_dict()
+    for key in sorted(set(sa) | set(sb)):
+        if sa.get(key) != sb.get(key):
+            return _diverge_uarch(
+                {"stat": key}, sa.get(key), sb.get(key), len(ops),
+                "recording perturbed statistics",
+            )
+    if len(ops) != oracle.stats.instructions:
+        return _diverge_uarch(
+            {"stat": "instructions"}, len(ops), oracle.stats.instructions,
+            len(ops), "retirement count differs from the oracle",
+        )
+    critical, dual, single = sandwich_cycles(ops)
+    if not critical <= dual <= single:
+        return _diverge_uarch(
+            {"cycles": "sandwich"}, (critical, dual), (dual, single),
+            len(ops),
+            f"cycle sandwich violated: critical-path {critical} <= "
+            f"dual-issue {dual} <= single-issue {single} does not hold",
+        )
+    return None
+
+
 # Driver -------------------------------------------------------------------
 
 _GENERATORS = {
@@ -560,6 +668,7 @@ _GENERATORS = {
     "scenario": (_gen_scenario, _run_scenario),
     "coded": (_gen_coded, _run_coded),
     "serve": (_gen_serve, _run_serve),
+    "uarch": (_gen_uarch, _run_uarch),
 }
 
 

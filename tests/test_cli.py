@@ -150,3 +150,41 @@ class TestReport:
         assert main(["report", "--size", "64",
                      "--output", str(target)]) == 0
         assert "Hardware cost" in target.read_text()
+
+
+class TestUarch:
+    def test_overlay_table_and_sandwich(self, capsys):
+        assert main(["uarch", "--size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Timing overlay" in out
+        assert "critical-path" in out
+        assert "dual-issue" in out
+        assert "sandwich:" in out and "ok" in out
+        assert "VIOLATED" not in out
+
+    def test_scenario_positional_sets_size(self, capsys):
+        assert main(["uarch", "multipath-eq"]) == 0
+        assert "128-point" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_with_menu(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["uarch", "definitely-not-a-scenario"])
+        assert "uwb-ofdm" in str(excinfo.value)
+
+    def test_study_records_section(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "bench.json"
+        assert main(["uarch", "--size", "64", "--study",
+                     "--record", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "Issue-width design study" in out
+        assert "extended Table II" in out
+        stored = json.loads(target.read_text())
+        rows = stored["uarch"]["latest"]["rows"]
+        assert {row["config"] for row in rows} == {
+            "w1/32kB-4way", "w2/32kB-4way", "w1/8kB-2way", "w2/8kB-2way",
+        }
+        for row in rows:
+            assert row["floor_cycles"] <= row["cycles"]
+            assert row["energy_uj"] > 0

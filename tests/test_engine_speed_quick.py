@@ -31,11 +31,13 @@ def test_quick_benchmark_floors():
     assert "quick" in result.stdout
     # The streaming-session floor, the vectorised-Viterbi floor, the
     # scenario-preset exercise, the co-execution overhead row, the
-    # serve-tier throughput/zero-shed row and the telemetry
-    # disabled-overhead row all run inside the gate.
+    # serve-tier throughput/zero-shed row, the telemetry
+    # disabled-overhead row and the uarch overlay overhead/sandwich row
+    # all run inside the gate.
     assert "session" in result.stdout
     assert "viterbi" in result.stdout
     assert "quick scenario" in result.stdout
     assert "quick coexec" in result.stdout
     assert "quick serve" in result.stdout
     assert "quick telemetry" in result.stdout
+    assert "quick uarch" in result.stdout

@@ -178,6 +178,73 @@ class TestTimingModel:
         assert mul.cycles == add.cycles + PipelineConfig().mul_extra
 
 
+class TestHazardConfigTiming:
+    """Direct exact-cycle checks of the in-order hazard model.
+
+    Each hazard class — taken-branch redirect, load-use interlock,
+    multi-cycle multiply — is pinned to an absolute cycle count under an
+    explicit :class:`PipelineConfig`, including zero-penalty configs, on
+    both the predecoded fast path and the interpreted oracle.
+    """
+
+    @staticmethod
+    def _cycles(source, **pipeline):
+        program = assemble(source)
+        fast = Machine(MainMemory(1024), pipeline=PipelineConfig(**pipeline))
+        fast.run(program)
+        interp = Machine(MainMemory(1024),
+                         pipeline=PipelineConfig(**pipeline))
+        interp.run_interpreted(program)
+        assert fast.stats.cycles == interp.stats.cycles
+        assert fast.stats.stall_cycles == interp.stats.stall_cycles
+        return fast.stats
+
+    BRANCH = "li r1, 1\nbne r1, r0, 3\nhalt\nhalt"
+
+    @pytest.mark.parametrize("penalty", [0, 1, 2, 5])
+    def test_branch_redirect_penalty(self, penalty):
+        # li + bne + the halt the branch lands on = 3 issue cycles.
+        stats = self._cycles(self.BRANCH, branch_penalty=penalty)
+        assert stats.cycles == 3 + penalty
+        assert stats.taken_branches == 1
+
+    def test_untaken_branch_never_pays(self):
+        source = "li r1, 1\nbeq r1, r0, 3\nhalt\nhalt"
+        for penalty in (0, 4):
+            stats = self._cycles(source, branch_penalty=penalty)
+            assert stats.cycles == 3
+            assert stats.taken_branches == 0
+
+    LOAD_USE = "lw r1, 100(r0)\nadd r2, r1, r1\nhalt"
+
+    @pytest.mark.parametrize("stall", [0, 1, 3])
+    def test_load_use_interlock(self, stall):
+        stats = self._cycles(self.LOAD_USE, load_use_stall=stall)
+        assert stats.cycles == 3 + stall
+        assert stats.stall_cycles == stall
+
+    def test_interlock_needs_true_dependence(self):
+        # The consumer reads r3, not the loaded r1: no stall even with a
+        # huge configured penalty.
+        source = "lw r1, 100(r0)\nadd r2, r3, r3\nhalt"
+        stats = self._cycles(source, load_use_stall=7)
+        assert stats.cycles == 3
+        assert stats.stall_cycles == 0
+
+    @pytest.mark.parametrize("extra", [0, 1, 4])
+    def test_multiply_extra_cycles(self, extra):
+        stats = self._cycles("mul r1, r0, r0\nmulh r2, r0, r0\nhalt",
+                             mul_extra=extra)
+        assert stats.cycles == 3 + 2 * extra
+
+    def test_all_penalties_zero_is_one_cycle_per_instruction(self):
+        source = ("li r1, 1\nlw r2, 100(r0)\nadd r3, r2, r2\n"
+                  "mul r4, r3, r3\nbne r1, r0, 6\nhalt\nhalt")
+        stats = self._cycles(source, branch_penalty=0, load_use_stall=0,
+                             mul_extra=0)
+        assert stats.cycles == stats.instructions == 6
+
+
 class TestGuards:
     def test_runaway_protection(self):
         machine = Machine(MainMemory(64), max_instructions=100)

@@ -1,10 +1,11 @@
 """Deterministic registries: sorted menus and stable error messages.
 
 Every registry in the repo (facade backends, pipeline stages, scenario
-presets, codes, interleavers, demappers, trace exporters) must present
-its contents in name order regardless of registration order — so ``*_specs()``
-snapshots iterate deterministically and ``UnknownNameError`` menus are
-byte-stable across runs and re-registrations.
+presets, codes, interleavers, demappers, trace exporters, uarch configs)
+must present its contents in name order regardless of registration order
+— so ``*_specs()`` snapshots iterate deterministically and
+``UnknownNameError`` menus are byte-stable across runs and
+re-registrations.
 """
 
 import pytest
@@ -25,6 +26,7 @@ from repro.core.registry import (
 from repro.pipelines.registry import get_stage, stage_names, stage_specs
 from repro.scenarios import get_scenario, scenario_names, scenario_specs
 from repro.telemetry import exporter_names, exporter_specs, get_exporter
+from repro.uarch import get_uarch, uarch_names, uarch_specs
 
 REGISTRIES = [
     ("backend", backend_names, backend_specs, get_backend),
@@ -34,6 +36,7 @@ REGISTRIES = [
     ("interleaver", interleaver_names, interleaver_specs, get_interleaver),
     ("demapper", demapper_names, demapper_specs, get_demapper),
     ("exporter", exporter_names, exporter_specs, get_exporter),
+    ("uarch", uarch_names, uarch_specs, get_uarch),
 ]
 
 IDS = [row[0] for row in REGISTRIES]

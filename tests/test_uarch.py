@@ -1,0 +1,356 @@
+"""repro.uarch: trace recording, scoreboard scheduling, the sandwich,
+and the issue-width design study."""
+
+import numpy as np
+import pytest
+
+from repro.asip import FFTASIP, generate_fft_program
+from repro.core.registry import UnknownNameError
+from repro.isa import Opcode, assemble
+from repro.sim import MainMemory, PipelineConfig, pipeline_preset
+from repro.sim.cache import CacheConfig
+from repro.sim.machine import Machine
+from repro.uarch import (
+    RetiredOp,
+    Scoreboard,
+    UarchSpec,
+    cache_timeline,
+    critical_path_cycles,
+    dataflow_critical_path,
+    get_uarch,
+    record_trace,
+    register_uarch,
+    retime,
+    run_uarch_study,
+    sandwich_cycles,
+    table2_extension_rows,
+    uarch_names,
+    uarch_specs,
+    unregister_uarch,
+)
+
+
+def fft_trace(n=64, seed=3):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    machine = FFTASIP(n)
+    machine.load_input(x)
+    ops = record_trace(machine, generate_fft_program(n))
+    return ops, machine, x
+
+
+class TestRegistry:
+    def test_presets_registered(self):
+        names = uarch_names()
+        for name in ("base-300mhz", "no-interlock", "single-issue",
+                     "dual-issue"):
+            assert name in names
+        assert names == sorted(names)
+        assert list(uarch_specs()) == names
+
+    def test_preset_pipelines_single_source_of_truth(self):
+        assert get_uarch("base-300mhz").pipeline == PipelineConfig()
+        ideal = get_uarch("no-interlock").pipeline
+        assert (ideal.branch_penalty, ideal.load_use_stall,
+                ideal.mul_extra) == (0, 0, 0)
+        assert pipeline_preset("base-300mhz") == PipelineConfig()
+        assert pipeline_preset("no-interlock") == ideal
+
+    def test_unknown_name_menu(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            get_uarch("definitely-not-registered")
+        assert ", ".join(uarch_names()) in str(excinfo.value)
+
+    def test_register_duplicate_and_replace(self):
+        spec = UarchSpec("zz-test", "throwaway")
+        register_uarch(spec)
+        try:
+            with pytest.raises(ValueError):
+                register_uarch(spec)
+            register_uarch(spec, replace=True)
+            assert get_uarch("zz-test") is spec
+            assert uarch_names() == sorted(uarch_names())
+        finally:
+            unregister_uarch("zz-test")
+        with pytest.raises(UnknownNameError):
+            get_uarch("zz-test")
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            UarchSpec("bad", issue_width=0)
+        with pytest.raises(TypeError):
+            register_uarch("not-a-spec")
+
+
+class TestScoreboard:
+    def test_raw_and_waw(self):
+        board = Scoreboard()
+        producer = RetiredOp(0, Opcode.ADD, "alu", (), (1,))
+        consumer = RetiredOp(1, Opcode.ADD, "alu", (1,), (2,))
+        overwriter = RetiredOp(2, Opcode.ADD, "alu", (), (1,))
+        assert board.ready(producer) == 0
+        board.commit(producer, 5)
+        assert board.ready(consumer) == 5        # RAW
+        assert board.ready(overwriter) == 5      # WAW
+        independent = RetiredOp(3, Opcode.ADD, "alu", (3,), (4,))
+        assert board.ready(independent) == 0
+
+    def test_dataflow_critical_path_is_chain_length(self):
+        chain = [RetiredOp(i, Opcode.ADD, "alu", (i,), (i + 1,))
+                 for i in range(5)]
+        assert dataflow_critical_path(chain, [1] * 5) == 5
+        forks = [RetiredOp(i, Opcode.ADD, "alu", (), (i + 1,))
+                 for i in range(5)]
+        assert dataflow_critical_path(forks, [1] * 5) == 1
+        with pytest.raises(ValueError):
+            dataflow_critical_path(chain, [1])
+
+
+def alu(pc, reads, writes):
+    return RetiredOp(pc, Opcode.ADD, "alu", tuple(reads), tuple(writes))
+
+
+class TestScheduler:
+    W1 = UarchSpec("w1-test", issue_width=1, charge_cache=False)
+    W2 = UarchSpec("w2-test", issue_width=2, charge_cache=False)
+
+    def test_independent_pair_dual_issues(self):
+        # One unit per class: a dual pairing needs different units
+        # (AGU beside the memory port here, as in the paper's datapath).
+        ops = [alu(0, (1,), (2,)),
+               RetiredOp(1, Opcode.LW, "load", (("m", 9),), (4,),
+                         ((9, False),))]
+        # w1: alu at 0, load at 1, load data ready at 3 (1 + interlock).
+        # w2: both at 0, load data ready at 2 — the pairing saves a cycle.
+        assert retime(ops, self.W1, None).cycles == 3
+        assert retime(ops, self.W2, None).cycles == 2
+        assert retime(ops, self.W2, None).stalls["structural"] == 0
+
+    def test_two_alu_ops_share_one_alu(self):
+        ops = [alu(0, (1,), (2,)), alu(1, (3,), (4,))]
+        result = retime(ops, self.W2, None)
+        assert result.cycles == 2
+        assert result.stalls["structural"] == 1
+
+    def test_dependent_pair_cannot_pair(self):
+        ops = [alu(0, (1,), (2,)), alu(1, (2,), (3,))]
+        result = retime(ops, self.W2, None)
+        assert result.cycles == 2
+        assert result.stalls["raw"] == 1
+
+    def test_same_unit_serialises(self):
+        ops = [RetiredOp(i, Opcode.LW, "load", (("m", i),), (i + 1,),
+                         ((i, False),)) for i in range(2)]
+        result = retime(ops, self.W2, None)
+        assert result.cycles >= 2
+        assert result.stalls["structural"] >= 1
+        assert result.unit_issues == {"lsu": 2}
+
+    def test_taken_branch_redirects(self):
+        penalty = PipelineConfig().branch_penalty
+        taken = [RetiredOp(0, Opcode.BNE, "branch", (1,), (), (), True),
+                 alu(3, (), (2,))]
+        fallthrough = [RetiredOp(0, Opcode.BNE, "branch", (1,)),
+                       alu(1, (), (2,))]
+        assert (retime(taken, self.W1, None).cycles
+                == retime(fallthrough, self.W1, None).cycles + penalty)
+        assert retime(taken, self.W1, None).stalls["branch"] == penalty
+
+    def test_load_latency_stalls_dependent(self):
+        load = RetiredOp(0, Opcode.LW, "load", (("m", 7),), (1,),
+                         ((7, False),))
+        use = alu(1, (1,), (2,))
+        result = retime([load, use], self.W1, None)
+        # load completes at 1 + (1 + load_use_stall); the use issues then.
+        assert result.cycles == 2 + PipelineConfig().load_use_stall
+
+    def test_blocking_cache_charges_and_holds_port(self):
+        charged = UarchSpec("c-test", issue_width=1, charge_cache=True)
+        ops = [RetiredOp(0, Opcode.LW, "load", (("m", 0),), (1,),
+                         ((0, False),)),
+               RetiredOp(1, Opcode.LW, "load", (("m", 512),), (2,),
+                         ((512, False),))]
+        config = CacheConfig()
+        cold = retime(ops, charged, config)
+        warm = retime(ops, self.W1, config)   # counted but not charged
+        assert cold.dcache_misses == warm.dcache_misses == 2
+        assert cold.cycles > warm.cycles
+        assert cold.stalls["cache"] == 2 * config.miss_penalty
+
+
+class TestRecorder:
+    SOURCE = """
+        li r1, 5
+        lw r2, 100(r0)
+        add r3, r1, r2
+        mul r4, r3, r3
+        sw r4, 101(r0)
+        bne r1, r0, 7
+        halt
+        halt
+    """
+
+    def test_trace_matches_retirement(self):
+        program = assemble(self.SOURCE)
+        machine = Machine(MainMemory(1024))
+        ops = record_trace(machine, program)
+        assert len(ops) == machine.stats.instructions
+        assert [op.opcode for op in ops] == [
+            Opcode.ADDI, Opcode.LW, Opcode.ADD, Opcode.MUL, Opcode.SW,
+            Opcode.BNE, Opcode.HALT,
+        ]
+        lw, mul, sw, bne = ops[1], ops[3], ops[4], ops[5]
+        assert lw.mem == ((100, False),) and ("m", 100) in lw.reads
+        assert mul.kind == "mul"
+        assert sw.mem == ((101, True),) and ("m", 101) in sw.writes
+        assert bne.taken
+
+    def test_recording_is_pure_observation(self):
+        program = assemble(self.SOURCE)
+        recorded = Machine(MainMemory(1024))
+        record_trace(recorded, program)
+        twin = Machine(MainMemory(1024))
+        twin.run_interpreted(program)
+        assert recorded.registers == twin.registers
+        assert recorded.stats.as_dict() == twin.stats.as_dict()
+        assert "step" not in recorded.__dict__   # wrapper removed
+
+    def test_wrapper_removed_on_error(self):
+        machine = Machine(MainMemory(64), max_instructions=10)
+        from repro.sim import RunawayProgram
+        with pytest.raises(RunawayProgram):
+            record_trace(machine, assemble("loop: j loop"))
+        assert "step" not in machine.__dict__
+
+    def test_double_instrumentation_rejected(self):
+        machine = Machine(MainMemory(64))
+        machine.step = lambda instr: None
+        with pytest.raises(ValueError):
+            record_trace(machine, assemble("halt"))
+
+    def test_fft_recording_preserves_oracle(self):
+        ops, machine, x = fft_trace(64)
+        assert np.allclose(machine.read_output(), np.fft.fft(x), atol=1e-6)
+        twin = FFTASIP(64)
+        twin.load_input(x)
+        twin.run_interpreted(generate_fft_program(64))
+        assert np.array_equal(machine.read_output(), twin.read_output())
+        assert machine.stats.as_dict() == twin.stats.as_dict()
+        assert len(ops) == twin.stats.instructions
+
+    def test_fft_custom_resources(self):
+        ops, _, _ = fft_trace(64)
+        kinds = {op.kind for op in ops}
+        assert {"ldin", "but4", "stout"} <= kinds
+        ldin = next(op for op in ops if op.kind == "ldin")
+        assert len(ldin.mem) == 2
+        assert sum(1 for r in ldin.writes
+                   if isinstance(r, tuple) and r[0] == "crf") == 2
+        but4 = next(op for op in ops if op.kind == "but4")
+        read_banks = {r[1] for r in but4.reads
+                      if isinstance(r, tuple) and r[0] == "crf"}
+        write_banks = {w[1] for w in but4.writes
+                       if isinstance(w, tuple) and w[0] == "crf"}
+        # double-banked CRF: BUT4 reads active, writes shadow
+        assert read_banks and write_banks and not read_banks & write_banks
+
+
+class TestSandwich:
+    def test_fft_sandwich_holds(self):
+        ops, _, _ = fft_trace(64)
+        critical, dual, single = sandwich_cycles(ops)
+        assert critical <= dual <= single
+        assert dual < single   # LDIN/STOUT<->BUT4 overlap buys something
+
+    def test_misses_are_width_invariant(self):
+        ops, _, _ = fft_trace(64)
+        results = [retime(ops, get_uarch(name))
+                   for name in ("single-issue", "dual-issue")]
+        assert len({r.dcache_misses for r in results}) == 1
+        assert len({r.dcache_hits for r in results}) == 1
+
+    def test_retime_is_deterministic(self):
+        ops, _, _ = fft_trace(32)
+        a = retime(ops, get_uarch("dual-issue"))
+        b = retime(ops, get_uarch("dual-issue"))
+        assert a == b
+
+    def test_width_one_uncharged_matches_oracle_cycles(self):
+        # With no blocking cache and the oracle's own penalties, the
+        # overlay at width 1 can never beat the oracle's cycle count.
+        ops, machine, _ = fft_trace(64)
+        result = retime(ops, get_uarch("base-300mhz"))
+        assert result.cycles >= machine.stats.cycles
+
+    def test_critical_path_below_every_width(self):
+        ops, _, _ = fft_trace(32)
+        floor = critical_path_cycles(ops)
+        for width in (1, 2, 3, 4):
+            spec = UarchSpec(f"w{width}-sweep", issue_width=width)
+            assert floor <= retime(ops, spec).cycles
+
+    def test_cache_timeline_counts_like_the_oracle(self):
+        ops, machine, _ = fft_trace(64)
+        _, hits, misses = cache_timeline(ops)
+        assert misses == machine.stats.dcache_misses
+        assert hits == machine.stats.dcache_hits
+
+
+class TestTelemetry:
+    def test_replay_span_and_stall_events(self):
+        from repro import telemetry
+
+        ops, _, _ = fft_trace(32)
+        with telemetry.trace("uarch-test") as tracer:
+            retime(ops, get_uarch("dual-issue"))
+        spans = tracer.finished()
+        replay = [span for span in spans if span.name == "uarch.replay"]
+        assert replay, [span.name for span in spans]
+        assert replay[0].attributes["width"] == 2
+        event_names = [event[0] for event in replay[0].events]
+        assert any(name.startswith("uarch.stall.") for name in event_names)
+
+
+class TestStudy:
+    def test_study_rows_and_pricing(self):
+        rows = run_uarch_study(64, widths=(1, 2))
+        assert len(rows) == 4   # 2 widths x 2 cache geometries
+        by_config = {row["config"]: row for row in rows}
+        w1 = by_config["w1/32kB-4way"]
+        w2 = by_config["w2/32kB-4way"]
+        assert w1["floor_cycles"] <= w2["cycles"] <= w1["cycles"]
+        assert w2["speedup"] >= 1.0 and w1["speedup"] == 1.0
+        assert w2["gates"] > w1["gates"]
+        assert w2["power_mw"] > w1["power_mw"]
+        for row in rows:
+            assert row["clock_mhz"] <= 300.0
+            assert row["time_us"] > 0 and row["energy_uj"] > 0
+
+    def test_smaller_cache_misses_more(self):
+        rows = run_uarch_study(64, widths=(1,))
+        by_cache = {row["cache"]: row for row in rows}
+        assert (by_cache["8kB-2way"]["dcache_misses"]
+                >= by_cache["32kB-4way"]["dcache_misses"])
+
+    def test_table2_extension_rows(self):
+        rows = table2_extension_rows(64, widths=(1, 2))
+        assert set(rows) == {"proposed_w1", "proposed_w2"}
+        w1, w2 = rows["proposed_w1"], rows["proposed_w2"]
+        assert w2.cycles <= w1.cycles
+        assert (w1.loads, w1.stores, w1.misses) == \
+               (w2.loads, w2.stores, w2.misses)
+
+    def test_study_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            run_uarch_study(64, widths=())
+        with pytest.raises(ValueError):
+            run_uarch_study(64, widths=(0, 1))
+
+
+class TestFuzzFamily:
+    def test_uarch_family_registered_and_passes(self):
+        from repro.verify import FUZZ_KINDS, fuzz_backends
+
+        assert "uarch" in FUZZ_KINDS
+        report = fuzz_backends(6, seed=2009, kinds=("uarch",))
+        assert report.ok, report.summary()
